@@ -1,0 +1,44 @@
+"""Figure 3 — correlation between entity accuracy and cluster size (NELL, YAGO)."""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.experiments import figure3_accuracy_vs_size, format_table
+
+
+def test_figure3_accuracy_vs_size(benchmark):
+    result = run_once(benchmark, figure3_accuracy_vs_size, seed=0)
+    rows = []
+    for dataset, payload in result.items():
+        points = payload["points"]
+        sizes = np.array([size for size, _ in points])
+        accuracies = np.array([accuracy for _, accuracy in points])
+        for low, high in ((1, 2), (3, 5), (6, 10), (11, 1_000)):
+            mask = (sizes >= low) & (sizes <= high)
+            if not mask.any():
+                continue
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "cluster_size_bin": f"{low}-{high}",
+                    "num_entities": int(mask.sum()),
+                    "mean_entity_accuracy": float(accuracies[mask].mean()),
+                }
+            )
+        rows.append(
+            {
+                "dataset": dataset,
+                "cluster_size_bin": "ALL",
+                "num_entities": len(points),
+                "mean_entity_accuracy": float(accuracies.mean()),
+                "size_accuracy_correlation": payload["correlation"],
+            }
+        )
+    emit(
+        "Figure 3: entity accuracy vs cluster size",
+        format_table(rows)
+        + "\nexpected shape: mean entity accuracy increases with cluster size (positive correlation)",
+    )
+    assert result["NELL"]["correlation"] > 0

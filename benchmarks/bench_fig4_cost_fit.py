@@ -1,0 +1,30 @@
+"""Figure 4 — fitting the annotation cost function Eq. (4) to observed task times."""
+
+from __future__ import annotations
+
+from conftest import emit, movie_scale, run_once
+
+from repro.experiments import figure4_cost_fit, format_table
+
+
+def test_figure4_cost_fit(benchmark):
+    result = run_once(benchmark, figure4_cost_fit, seed=0, movie_scale=movie_scale())
+    rows = [
+        {
+            "task": index,
+            "entities": obs.num_entities,
+            "triples": obs.num_triples,
+            "observed_minutes": obs.observed_seconds / 60,
+            "fitted_minutes": predicted / 60,
+        }
+        for index, (obs, predicted) in enumerate(
+            zip(result.observations, result.predicted_seconds)
+        )
+    ]
+    emit(
+        "Figure 4: cost-function fit",
+        format_table(rows)
+        + f"\nfitted c1={result.fit.identification_cost:.1f}s (paper: 45s), "
+        + f"c2={result.fit.validation_cost:.1f}s (paper: 25s), R^2={result.fit.r_squared:.3f}",
+    )
+    assert result.fit.r_squared > 0.7

@@ -1,0 +1,40 @@
+"""Figure 6 — finding the optimal second-stage sample size m for TWCS."""
+
+from __future__ import annotations
+
+from conftest import bench_trials, emit, movie_scale, run_once
+
+from repro.experiments import figure6_optimal_m, format_table
+
+
+def test_figure6_optimal_m(benchmark):
+    rows = run_once(
+        benchmark,
+        figure6_optimal_m,
+        num_trials=max(2, bench_trials() // 2),
+        seed=0,
+        movie_scale=movie_scale(0.008),
+    )
+    simulated = [row for row in rows if "annotation_hours" in row]
+    optima = [row for row in rows if row.get("optimal")]
+    emit(
+        "Figure 6: TWCS cost vs second-stage size m (paper: optimum in the 3-5 range)",
+        format_table(
+            simulated,
+            columns=[
+                "dataset",
+                "m",
+                "num_units",
+                "num_triples",
+                "annotation_hours",
+                "srs_annotation_hours",
+                "theoretical_cost_upper_hours",
+                "theoretical_cost_lower_hours",
+            ],
+        )
+        + "\n"
+        + format_table(optima, columns=["dataset", "m", "theoretical_cost_upper_hours"],
+                       title="Optimal m per dataset (minimiser of Eq. 12)")
+        + "\nexpected shape: cluster draws fall sharply from m=1 then plateau; cost is U-shaped (or flat for NELL)",
+    )
+    assert all(1 <= row["m"] <= 10 for row in optima)

@@ -1,0 +1,35 @@
+"""Figure 7 — scalability of TWCS: cost vs KG size and vs overall accuracy."""
+
+from __future__ import annotations
+
+from conftest import bench_trials, emit, run_once
+
+from repro.experiments import figure7_scalability, format_table
+
+
+def test_figure7_scalability(benchmark):
+    result = run_once(
+        benchmark,
+        figure7_scalability,
+        num_trials=max(2, bench_trials() // 2),
+        seed=0,
+    )
+    emit(
+        "Figure 7: TWCS scalability (paper sweeps 26M-130M triples; here a 1/1000-scale sweep with the same 1x..8x progression)",
+        format_table(
+            result["varying_size"],
+            columns=["num_triples_in_kg", "accuracy", "annotation_hours", "annotation_hours_std"],
+            title="Figure 7-1: varying KG size (accuracy fixed at 90%)",
+        )
+        + "\n"
+        + format_table(
+            result["varying_accuracy"],
+            columns=["num_triples_in_kg", "accuracy", "annotation_hours", "annotation_hours_std"],
+            title="Figure 7-2: varying overall accuracy (size fixed)",
+        )
+        + "\nexpected shape: cost flat in KG size; cost peaks at 50% accuracy",
+    )
+    size_hours = [row["annotation_hours"] for row in result["varying_size"]]
+    assert max(size_hours) < 2.5 * min(size_hours)
+    by_accuracy = {row["accuracy"]: row["annotation_hours"] for row in result["varying_accuracy"]}
+    assert by_accuracy[0.5] >= max(by_accuracy[0.1], by_accuracy[0.9]) * 0.8

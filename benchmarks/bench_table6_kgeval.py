@@ -1,0 +1,39 @@
+"""Table 6 — TWCS vs KGEval on NELL and YAGO (machine time, annotations, estimate)."""
+
+from __future__ import annotations
+
+from conftest import bench_trials, emit, run_once
+
+from repro.experiments import format_table, table6_kgeval_comparison
+
+
+def test_table6_kgeval_comparison(benchmark):
+    rows = run_once(
+        benchmark,
+        table6_kgeval_comparison,
+        num_trials=max(2, bench_trials() // 2),
+        seed=0,
+    )
+    emit(
+        "Table 6: TWCS vs KGEval (paper: TWCS needs seconds of machine time, KGEval hours)",
+        format_table(
+            rows,
+            columns=[
+                "dataset",
+                "method",
+                "gold_accuracy",
+                "machine_time_seconds",
+                "num_triples",
+                "annotation_hours",
+                "accuracy_estimate",
+                "estimation_error",
+            ],
+        )
+        + "\nexpected shape: KGEval machine time ≫ TWCS machine time; TWCS annotation cost no worse; both estimates near gold",
+    )
+    for dataset in {row["dataset"] for row in rows}:
+        subset = {row["method"]: row for row in rows if row["dataset"] == dataset}
+        assert (
+            subset["KGEval"]["machine_time_seconds"]
+            > subset["TWCS"]["machine_time_seconds"]
+        )

@@ -1,0 +1,37 @@
+"""Table 7 — TWCS with size / oracle stratification vs SRS and plain TWCS."""
+
+from __future__ import annotations
+
+from conftest import bench_trials, emit, movie_scale, run_once
+
+from repro.experiments import format_table, table7_stratification
+
+
+def test_table7_stratification(benchmark):
+    rows = run_once(
+        benchmark,
+        table7_stratification,
+        num_trials=bench_trials(),
+        seed=0,
+        movie_scale=movie_scale(),
+    )
+    emit(
+        "Table 7: stratified TWCS (paper: size stratification helps most on MOVIE-SYN; oracle is the lower bound)",
+        format_table(
+            rows,
+            columns=[
+                "dataset",
+                "method",
+                "num_strata",
+                "gold_accuracy",
+                "annotation_hours",
+                "annotation_hours_std",
+                "accuracy_estimate",
+            ],
+        )
+        + "\nexpected shape: oracle stratification cheapest per dataset; size stratification helps where"
+        + "\n                cluster size predicts accuracy (MOVIE-SYN), is neutral elsewhere",
+    )
+    for dataset in {row["dataset"] for row in rows}:
+        subset = {row["method"]: row["annotation_hours"] for row in rows if row["dataset"] == dataset}
+        assert subset["TWCS+ORACLE"] <= subset["SRS"]

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Auditing a large entertainment KG: design choices that cut annotation cost.
+
+This example mirrors the MOVIE audit of Section 7 of the paper on a scaled
+MOVIE-like knowledge graph (IMDb ⋈ WikiData shape: large clusters, ~90 %
+accurate) and shows the three levers the paper introduces:
+
+* grouping triples by entity (TWCS vs SRS),
+* choosing the second-stage size m from pilot information (Eq. 12),
+* stratifying clusters by size before sampling (Section 5.3).
+
+Run with:  python examples/movie_accuracy_audit.py
+"""
+
+from repro import (
+    CostModel,
+    SimpleRandomDesign,
+    SimulatedAnnotator,
+    StratifiedTWCSDesign,
+    TwoStageWeightedClusterDesign,
+    evaluate_accuracy,
+    make_movie_like,
+    optimal_second_stage_size,
+    stratify_by_size,
+)
+
+
+def run(design, data, seed: int):
+    annotator = SimulatedAnnotator(data.oracle, seed=seed)
+    return evaluate_accuracy(design, annotator, moe_target=0.05, confidence_level=0.95)
+
+
+def main() -> None:
+    data = make_movie_like(seed=11, scale=0.02)
+    print(f"KG under audit: {data.graph!r}")
+    print(f"True (hidden) accuracy: {data.true_accuracy:.1%}\n")
+
+    # 1. The naive audit: simple random sampling of triples.
+    srs_report = run(SimpleRandomDesign(data.graph, seed=4), data, seed=4)
+    print(f"SRS:                 {srs_report.summary()}")
+
+    # 2. Entity-grouped audit with a default second-stage cap.
+    twcs_report = run(
+        TwoStageWeightedClusterDesign(data.graph, second_stage_size=5, seed=4), data, seed=4
+    )
+    print(f"TWCS (m=5):          {twcs_report.summary()}")
+
+    # 3. Pick m from pilot knowledge of the cluster-size/accuracy profile.
+    #    In practice the pilot comes from a small preliminary sample; here we
+    #    use the oracle directly to show the mechanics of Eq. (12).
+    sizes = [cluster.size for cluster in data.graph.clusters()]
+    accuracies = [
+        data.oracle.cluster_accuracy(data.graph, entity_id)
+        for entity_id in data.graph.entity_ids
+    ]
+    optimum = optimal_second_stage_size(sizes, accuracies, CostModel(), moe_target=0.05)
+    print(
+        f"\nOptimal second-stage size m* = {optimum.second_stage_size} "
+        f"(expected cost {optimum.expected_cost_hours:.2f} h for "
+        f"{optimum.num_cluster_draws} cluster draws)"
+    )
+    tuned_report = run(
+        TwoStageWeightedClusterDesign(
+            data.graph, second_stage_size=optimum.second_stage_size, seed=4
+        ),
+        data,
+        seed=4,
+    )
+    print(f"TWCS (m=m*):         {tuned_report.summary()}")
+
+    # 4. Add size stratification (cumulative sqrt-F boundaries, 4 strata).
+    strata = stratify_by_size(data.graph, num_strata=4)
+    stratified_report = run(
+        StratifiedTWCSDesign(data.graph, strata, optimum.second_stage_size, seed=4), data, seed=4
+    )
+    print(f"TWCS + size strata:  {stratified_report.summary()}")
+
+    best = min(twcs_report, tuned_report, stratified_report, key=lambda r: r.annotation_cost_hours)
+    saving = 1.0 - best.annotation_cost_hours / srs_report.annotation_cost_hours
+    print(f"\nBest cluster-based design saves {saving:.0%} of annotation time vs SRS.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate the accuracy of a knowledge graph with TWCS.
+
+This walks through the paper's core workflow on a NELL-like knowledge graph:
+
+1. build (or load) a knowledge graph and its ground-truth labels;
+2. choose a sampling design — here two-stage weighted cluster sampling (TWCS),
+   the paper's best design — and an annotator;
+3. run the iterative evaluation loop until the margin of error drops below the
+   requested threshold;
+4. inspect the estimate, its confidence interval and the annotation cost, and
+   compare against plain simple random sampling.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    SimpleRandomDesign,
+    SimulatedAnnotator,
+    TwoStageWeightedClusterDesign,
+    evaluate_accuracy,
+    make_nell_like,
+)
+
+
+def main() -> None:
+    # A synthetic stand-in for the NELL evaluation sample used in the paper:
+    # 817 entities, ~1 900 triples, ~91 % of which are correct.
+    data = make_nell_like(seed=42)
+    print(f"KG: {data.graph!r}")
+    print(f"True (hidden) accuracy: {data.true_accuracy:.1%}\n")
+
+    # --- TWCS: the paper's best design -----------------------------------
+    twcs = TwoStageWeightedClusterDesign(data.graph, second_stage_size=5, seed=7)
+    annotator = SimulatedAnnotator(data.oracle, seed=7)
+    report = evaluate_accuracy(twcs, annotator, moe_target=0.05, confidence_level=0.95)
+    interval = report.confidence_interval
+    print("Two-stage weighted cluster sampling (TWCS):")
+    print(f"  estimated accuracy : {report.accuracy:.1%}")
+    print(f"  95% interval       : [{interval.lower:.1%}, {interval.upper:.1%}]")
+    print(f"  clusters sampled   : {report.num_units}")
+    print(f"  triples annotated  : {report.num_triples_annotated}")
+    print(f"  entities identified: {report.num_entities_identified}")
+    print(f"  annotation cost    : {report.annotation_cost_hours:.2f} hours\n")
+
+    # --- SRS baseline ------------------------------------------------------
+    srs = SimpleRandomDesign(data.graph, seed=7)
+    annotator = SimulatedAnnotator(data.oracle, seed=7)
+    srs_report = evaluate_accuracy(srs, annotator, moe_target=0.05, confidence_level=0.95)
+    print("Simple random sampling (SRS) baseline:")
+    print(f"  estimated accuracy : {srs_report.accuracy:.1%}")
+    print(f"  triples annotated  : {srs_report.num_triples_annotated}")
+    print(f"  annotation cost    : {srs_report.annotation_cost_hours:.2f} hours\n")
+
+    saving = 1.0 - report.annotation_cost_hours / srs_report.annotation_cost_hours
+    print(f"TWCS saves {saving:.0%} of the annotation time at the same statistical guarantee.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Baselines the paper compares against.
+
+Besides simple random sampling (available as a first-class design in
+:mod:`repro.sampling`), the paper's main competitor is **KGEval**
+(Ojha & Talukdar, EMNLP 2017), which exploits coupling constraints between
+triples to propagate a few manually obtained labels across the graph.  The
+reimplementation here (:mod:`repro.baselines.kgeval`) follows the same
+select → annotate → propagate loop over a coupling-constraint graph and
+exposes the quantities Table 6 compares: machine time spent selecting triples,
+number of triples annotated, annotation cost, and the resulting (biased)
+accuracy estimate.
+"""
+
+from repro.baselines.coupling import CouplingGraphBuilder
+from repro.baselines.kgeval import KGEvalBaseline, KGEvalResult
+
+__all__ = ["CouplingGraphBuilder", "KGEvalBaseline", "KGEvalResult"]

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows:
+
+* ``datasets`` — print Table-3-style characteristics of the synthetic dataset
+  stand-ins (entities, triples, average cluster size, gold accuracy);
+* ``evaluate`` — run one accuracy evaluation of a chosen dataset with a chosen
+  sampling design and quality requirement, and print the report;
+* ``experiment`` — regenerate one of the paper's tables/figures and print the
+  rows (the same functions the benchmark suite calls).
+
+Examples
+--------
+::
+
+    python -m repro datasets
+    python -m repro evaluate --dataset nell --design twcs --moe 0.05 --seed 7
+    python -m repro experiment table5 --trials 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.config import EvaluationConfig
+from repro.core.framework import StaticEvaluator
+from repro.cost.annotator import SimulatedAnnotator
+from repro.experiments import (
+    figure5_confidence_sweep,
+    figure6_optimal_m,
+    figure7_scalability,
+    figure8_single_update,
+    format_table,
+    table4_movie_cost,
+    table5_static_comparison,
+    table6_kgeval_comparison,
+    table7_stratification,
+)
+from repro.generators.datasets import (
+    LabelledKG,
+    make_movie_like,
+    make_movie_syn,
+    make_nell_like,
+    make_yago_like,
+)
+from repro.kg.statistics import cluster_size_summary
+from repro.sampling.rcs import RandomClusterDesign
+from repro.sampling.srs import SimpleRandomDesign
+from repro.sampling.stratification import stratify_by_size
+from repro.sampling.stratified import StratifiedTWCSDesign
+from repro.sampling.twcs import TwoStageWeightedClusterDesign
+from repro.sampling.wcs import WeightedClusterDesign
+
+__all__ = ["main", "build_parser"]
+
+_DATASETS = ("nell", "yago", "movie", "movie-syn")
+_DESIGNS = ("srs", "rcs", "wcs", "twcs", "twcs-strat")
+
+
+def _load_dataset(name: str, seed: int, movie_scale: float) -> LabelledKG:
+    if name == "nell":
+        return make_nell_like(seed=seed)
+    if name == "yago":
+        return make_yago_like(seed=seed)
+    if name == "movie":
+        return make_movie_like(seed=seed, scale=movie_scale)
+    if name == "movie-syn":
+        return make_movie_syn(seed=seed, scale=movie_scale)
+    raise ValueError(f"unknown dataset {name!r}")
+
+
+def _build_design(name: str, data: LabelledKG, m: int, seed: int):
+    if name == "srs":
+        return SimpleRandomDesign(data.graph, seed=seed)
+    if name == "rcs":
+        return RandomClusterDesign(data.graph, seed=seed)
+    if name == "wcs":
+        return WeightedClusterDesign(data.graph, seed=seed)
+    if name == "twcs":
+        return TwoStageWeightedClusterDesign(data.graph, second_stage_size=m, seed=seed)
+    if name == "twcs-strat":
+        strata = stratify_by_size(data.graph, num_strata=4)
+        return StratifiedTWCSDesign(data.graph, strata, second_stage_size=m, seed=seed)
+    raise ValueError(f"unknown design {name!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Sub-commands
+# --------------------------------------------------------------------------- #
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in _DATASETS:
+        data = _load_dataset(name, args.seed, args.movie_scale)
+        summary = cluster_size_summary(data.graph)
+        rows.append(
+            {
+                "dataset": data.name,
+                "entities": summary.num_entities,
+                "triples": summary.num_triples,
+                "avg_cluster_size": summary.mean_size,
+                "max_cluster_size": summary.max_size,
+                "gold_accuracy": data.true_accuracy,
+            }
+        )
+    print(format_table(rows, title="Dataset characteristics (synthetic stand-ins, cf. Table 3)"))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    data = _load_dataset(args.dataset, args.seed, args.movie_scale)
+    design = _build_design(args.design, data, args.second_stage_size, args.seed)
+    annotator = SimulatedAnnotator(data.oracle, seed=args.seed)
+    config = EvaluationConfig(moe_target=args.moe, confidence_level=args.confidence)
+    report = StaticEvaluator(design, annotator, config).run()
+    interval = report.confidence_interval
+    print(f"dataset            : {data.name}")
+    print(f"design             : {args.design} (m={args.second_stage_size})")
+    print(f"true accuracy      : {data.true_accuracy:.1%} (hidden from the estimator)")
+    print(f"estimated accuracy : {report.accuracy:.1%}")
+    print(f"{args.confidence:.0%} interval     : [{interval.lower:.1%}, {interval.upper:.1%}]")
+    print(f"margin of error    : {report.margin_of_error:.3f} (target {args.moe})")
+    print(f"sample units       : {report.num_units}")
+    print(f"triples annotated  : {report.num_triples_annotated}")
+    print(f"entities identified: {report.num_entities_identified}")
+    print(f"annotation cost    : {report.annotation_cost_hours:.2f} hours")
+    return 0 if report.satisfied else 1
+
+
+_EXPERIMENTS = {
+    "table4": lambda args: format_table(
+        table4_movie_cost(args.trials, args.seed, args.movie_scale),
+        title="Table 4: MOVIE evaluation cost",
+    ),
+    "table5": lambda args: format_table(
+        table5_static_comparison(args.trials, args.seed, args.movie_scale),
+        title="Table 5: static-KG evaluation",
+    ),
+    "table6": lambda args: format_table(
+        table6_kgeval_comparison(max(1, args.trials // 2), args.seed),
+        title="Table 6: TWCS vs KGEval",
+    ),
+    "table7": lambda args: format_table(
+        table7_stratification(args.trials, args.seed, args.movie_scale),
+        title="Table 7: stratified TWCS",
+    ),
+    "fig5": lambda args: format_table(
+        figure5_confidence_sweep(args.trials, args.seed, args.movie_scale),
+        title="Figure 5: confidence-level sweep",
+    ),
+    "fig6": lambda args: format_table(
+        [row for row in figure6_optimal_m(max(1, args.trials // 2), args.seed) if "annotation_hours" in row],
+        title="Figure 6: optimal second-stage size",
+    ),
+    "fig7": lambda args: "\n".join(
+        format_table(rows, title=f"Figure 7 ({label})")
+        for label, rows in figure7_scalability(max(1, args.trials // 2), args.seed).items()
+    ),
+    "fig8": lambda args: "\n".join(
+        format_table(rows, title=f"Figure 8 ({label})")
+        for label, rows in figure8_single_update(
+            max(1, args.trials // 2), args.seed, args.movie_scale
+        ).items()
+    ),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    runner = _EXPERIMENTS.get(args.name)
+    if runner is None:
+        print(f"unknown experiment {args.name!r}; choose from {sorted(_EXPERIMENTS)}")
+        return 2
+    print(runner(args))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Efficient knowledge-graph accuracy evaluation (VLDB 2019 reproduction).",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    common.add_argument(
+        "--movie-scale",
+        type=float,
+        default=0.01,
+        help="scale of the MOVIE-like dataset relative to the published size (default 0.01)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "datasets", parents=[common], help="print dataset characteristics (cf. Table 3)"
+    )
+
+    evaluate = subparsers.add_parser(
+        "evaluate", parents=[common], help="run one accuracy evaluation"
+    )
+    evaluate.add_argument("--dataset", choices=_DATASETS, default="nell")
+    evaluate.add_argument("--design", choices=_DESIGNS, default="twcs")
+    evaluate.add_argument("--moe", type=float, default=0.05, help="margin-of-error target")
+    evaluate.add_argument(
+        "--confidence", type=float, default=0.95, help="confidence level (default 0.95)"
+    )
+    evaluate.add_argument(
+        "--second-stage-size",
+        "-m",
+        type=int,
+        default=5,
+        dest="second_stage_size",
+        help="TWCS second-stage cap m (default 5)",
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", parents=[common], help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--trials", type=int, default=5, help="randomised trials (default 5)")
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The iterative evaluation framework (Section 4, Figure 2).
+
+The framework glues together a sampling design (Sample Collector), a simulated
+or human annotator (the Sample Pool's manual annotation step), the design's
+estimator (Estimation), and a margin-of-error stopping rule (Quality Control):
+it keeps drawing small batches of sample units, collecting labels and
+re-estimating until the estimate's margin of error drops below the requested
+threshold, then reports the estimate together with the annotation cost spent.
+"""
+
+from repro.core.config import EvaluationConfig
+from repro.core.framework import StaticEvaluator, evaluate_accuracy
+from repro.core.granular import GranularEvaluator, GroupReport, evaluate_by_predicate
+from repro.core.result import EvaluationReport
+
+__all__ = [
+    "EvaluationConfig",
+    "EvaluationReport",
+    "StaticEvaluator",
+    "evaluate_accuracy",
+    "GranularEvaluator",
+    "GroupReport",
+    "evaluate_by_predicate",
+]

@@ -1,0 +1,78 @@
+"""Results reported by an evaluation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sampling.base import Estimate
+from repro.stats.ci import ConfidenceInterval
+
+__all__ = ["EvaluationReport"]
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """The outcome of one (static or incremental) evaluation run.
+
+    Attributes
+    ----------
+    estimate:
+        Final accuracy estimate with its standard error.
+    confidence_level:
+        Confidence level the margin of error refers to.
+    moe_target:
+        The requested margin-of-error threshold.
+    satisfied:
+        Whether the threshold was met (it may not be when the population was
+        exhausted or the unit budget ran out first).
+    iterations:
+        Number of draw/annotate/estimate iterations performed.
+    num_units:
+        Sample units drawn (triples for SRS, cluster draws for cluster designs).
+    num_triples_annotated:
+        Distinct triples labelled during this run.
+    num_entities_identified:
+        Distinct subject entities identified during this run.
+    annotation_cost_seconds:
+        Total annotation cost charged by the cost model during this run.
+    """
+
+    estimate: Estimate
+    confidence_level: float
+    moe_target: float
+    satisfied: bool
+    iterations: int
+    num_units: int
+    num_triples_annotated: int
+    num_entities_identified: int
+    annotation_cost_seconds: float
+
+    @property
+    def accuracy(self) -> float:
+        """The point estimate of KG accuracy."""
+        return self.estimate.value
+
+    @property
+    def margin_of_error(self) -> float:
+        """The achieved margin of error at :attr:`confidence_level`."""
+        return self.estimate.margin_of_error(self.confidence_level)
+
+    @property
+    def confidence_interval(self) -> ConfidenceInterval:
+        """The achieved confidence interval, clipped to [0, 1]."""
+        return self.estimate.confidence_interval(self.confidence_level)
+
+    @property
+    def annotation_cost_hours(self) -> float:
+        """Annotation cost in hours (the unit used in the paper's tables)."""
+        return self.annotation_cost_seconds / 3600.0
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the run."""
+        return (
+            f"accuracy={self.accuracy:.3f} ±{self.margin_of_error:.3f} "
+            f"({self.confidence_level:.0%} confidence), "
+            f"{self.num_triples_annotated} triples / "
+            f"{self.num_entities_identified} entities annotated, "
+            f"cost={self.annotation_cost_hours:.2f}h"
+        )

@@ -1,0 +1,227 @@
+"""A simulated human annotator.
+
+The paper's framework is "generic and independent of the manual annotation
+process" (Section 4): the sampling designs only need correctness labels for
+the triples they draw, plus an account of how much annotator time those labels
+cost.  :class:`SimulatedAnnotator` substitutes for the human annotators used
+in the paper:
+
+* labels come from a ground-truth :class:`~repro.labels.oracle.LabelOracle`
+  (real annotated files or synthetic label models);
+* time is charged with the cost model of Eq. (4) — ``c1`` the first time a
+  subject entity is identified within an annotation session and ``c2`` per
+  validated triple — optionally with per-step lognormal noise so that
+  individual runs resemble the jagged cumulative-time curves of Figure 1.
+
+The substitution preserves the quantities every experiment in the paper
+reports: which triples get labelled, what they cost under Eq. (4), and the
+resulting estimates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cost.model import CostModel
+from repro.kg.triple import Triple
+from repro.labels.oracle import LabelOracle
+
+__all__ = ["EvaluationTask", "AnnotationResult", "SimulatedAnnotator"]
+
+
+@dataclass(frozen=True)
+class EvaluationTask:
+    """A group of triples sharing a subject id, handed to an annotator at once.
+
+    Section 3.1: sampled triples are prepared (grouped) by their subjects for
+    manual evaluation, so the entity only needs to be identified once.
+    """
+
+    entity_id: str
+    triples: tuple[Triple, ...]
+
+    def __post_init__(self) -> None:
+        if not self.triples:
+            raise ValueError("an evaluation task must contain at least one triple")
+        mismatched = [t for t in self.triples if t.subject != self.entity_id]
+        if mismatched:
+            raise ValueError(
+                f"task for entity {self.entity_id!r} contains triples of other subjects"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of triples in the task."""
+        return len(self.triples)
+
+
+@dataclass(frozen=True)
+class AnnotationResult:
+    """Labels and cost for one batch of annotation work."""
+
+    labels: dict[Triple, bool]
+    cost_seconds: float
+    newly_identified_entities: int
+    num_triples: int
+
+    @property
+    def cost_hours(self) -> float:
+        """Cost in hours (the unit used by the paper's tables)."""
+        return self.cost_seconds / 3600.0
+
+
+@dataclass
+class _SessionState:
+    """Mutable per-session bookkeeping for a simulated annotator."""
+
+    identified_entities: set[str] = field(default_factory=set)
+    total_seconds: float = 0.0
+    total_triples: int = 0
+    labelled: dict[Triple, bool] = field(default_factory=dict)
+
+
+class SimulatedAnnotator:
+    """Annotates triples against a ground-truth oracle, charging Eq. (4) time.
+
+    Parameters
+    ----------
+    oracle:
+        Ground-truth labels.
+    cost_model:
+        The ``(c1, c2)`` cost parameters; defaults to the paper's fit.
+    time_noise_sigma:
+        When positive, each charged cost component is multiplied by an
+        independent lognormal factor with this log-scale sigma, so that single
+        runs show realistic variation (used for Figure 1 / Figure 4).  The
+        noise has mean 1, so expected costs still follow Eq. (4) exactly.
+    seed:
+        Seed or generator for the timing noise.
+
+    Notes
+    -----
+    Entity identification is charged once per distinct subject id *per
+    session*.  Call :meth:`reset` to start a new session (a new evaluation
+    run); the experiment harness does this between independent trials.
+    """
+
+    def __init__(
+        self,
+        oracle: LabelOracle,
+        cost_model: CostModel | None = None,
+        time_noise_sigma: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if time_noise_sigma < 0:
+            raise ValueError("time_noise_sigma must be non-negative")
+        self.oracle = oracle
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.time_noise_sigma = time_noise_sigma
+        self._rng = np.random.default_rng(seed)
+        self._session = _SessionState()
+
+    # ------------------------------------------------------------------ #
+    # Session accounting
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Forget identified entities and accumulated cost (new session)."""
+        self._session = _SessionState()
+
+    @property
+    def total_cost_seconds(self) -> float:
+        """Total annotation time charged in the current session."""
+        return self._session.total_seconds
+
+    @property
+    def total_cost_hours(self) -> float:
+        """Total annotation time in hours for the current session."""
+        return self._session.total_seconds / 3600.0
+
+    @property
+    def total_triples_annotated(self) -> int:
+        """Number of (distinct) triples labelled in the current session."""
+        return self._session.total_triples
+
+    @property
+    def entities_identified(self) -> int:
+        """Number of distinct entities identified in the current session."""
+        return len(self._session.identified_entities)
+
+    @property
+    def labelled_triples(self) -> dict[Triple, bool]:
+        """All labels produced in the current session."""
+        return dict(self._session.labelled)
+
+    # ------------------------------------------------------------------ #
+    # Annotation
+    # ------------------------------------------------------------------ #
+    def _noise_factor(self) -> float:
+        if self.time_noise_sigma == 0.0:
+            return 1.0
+        sigma = self.time_noise_sigma
+        # Lognormal with mean exactly 1: exp(N(-sigma^2/2, sigma^2)).
+        return float(np.exp(self._rng.normal(-0.5 * sigma * sigma, sigma)))
+
+    def annotate_task(self, task: EvaluationTask) -> AnnotationResult:
+        """Annotate one evaluation task (triples sharing a subject)."""
+        return self.annotate_triples(task.triples)
+
+    def annotate_triples(self, triples: Iterable[Triple]) -> AnnotationResult:
+        """Annotate an arbitrary batch of triples.
+
+        Triples are implicitly grouped by subject: identification cost is only
+        charged for subjects not yet identified in this session, and a triple
+        already labelled in this session is neither re-labelled nor re-charged.
+        """
+        labels: dict[Triple, bool] = {}
+        cost = 0.0
+        new_entities = 0
+        new_triples = 0
+        for triple in triples:
+            if triple in self._session.labelled:
+                labels[triple] = self._session.labelled[triple]
+                continue
+            if triple.subject not in self._session.identified_entities:
+                self._session.identified_entities.add(triple.subject)
+                cost += self.cost_model.identification_cost * self._noise_factor()
+                new_entities += 1
+            label = self.oracle.label(triple)
+            cost += self.cost_model.validation_cost * self._noise_factor()
+            labels[triple] = label
+            self._session.labelled[triple] = label
+            new_triples += 1
+        self._session.total_seconds += cost
+        self._session.total_triples += new_triples
+        return AnnotationResult(
+            labels=labels,
+            cost_seconds=cost,
+            newly_identified_entities=new_entities,
+            num_triples=new_triples,
+        )
+
+    def annotate_with_timeline(
+        self, triples: Sequence[Triple]
+    ) -> tuple[AnnotationResult, list[float]]:
+        """Annotate triples one by one and return the cumulative-time curve.
+
+        Used to reproduce Figure 1 (cumulative evaluation time after each
+        triple for triple-level vs entity-level tasks).
+        """
+        timeline: list[float] = []
+        combined_labels: dict[Triple, bool] = {}
+        cost_before = self.total_cost_seconds
+        entities_before = self.entities_identified
+        triples_before = self.total_triples_annotated
+        for triple in triples:
+            result = self.annotate_triples([triple])
+            combined_labels.update(result.labels)
+            timeline.append(self.total_cost_seconds - cost_before)
+        aggregate = AnnotationResult(
+            labels=combined_labels,
+            cost_seconds=self.total_cost_seconds - cost_before,
+            newly_identified_entities=self.entities_identified - entities_before,
+            num_triples=self.total_triples_annotated - triples_before,
+        )
+        return aggregate, timeline

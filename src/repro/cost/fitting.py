@@ -1,0 +1,97 @@
+"""Fitting the cost-model parameters ``(c1, c2)`` from timing observations.
+
+Section 7.1.3 / Figure 4 of the paper: given measured annotation times for
+several tasks — each characterised by the number of distinct entities and the
+number of triples annotated — fit Eq. (4) by least squares and check how well
+the fitted function approximates observed times.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cost.model import CostModel
+
+__all__ = ["CostObservation", "CostFit", "fit_cost_model"]
+
+
+@dataclass(frozen=True)
+class CostObservation:
+    """One measured annotation task.
+
+    Parameters
+    ----------
+    num_entities:
+        Distinct subject entities identified during the task.
+    num_triples:
+        Triples validated during the task.
+    observed_seconds:
+        Measured wall-clock annotation time in seconds.
+    """
+
+    num_entities: int
+    num_triples: int
+    observed_seconds: float
+
+
+@dataclass(frozen=True)
+class CostFit:
+    """Result of fitting Eq. (4) to timing observations."""
+
+    model: CostModel
+    residual_seconds: tuple[float, ...]
+    r_squared: float
+
+    @property
+    def identification_cost(self) -> float:
+        """Fitted ``c1`` in seconds."""
+        return self.model.identification_cost
+
+    @property
+    def validation_cost(self) -> float:
+        """Fitted ``c2`` in seconds."""
+        return self.model.validation_cost
+
+
+def fit_cost_model(observations: Sequence[CostObservation]) -> CostFit:
+    """Fit ``c1`` and ``c2`` by non-negative least squares.
+
+    The design matrix has one row per observation, with columns
+    ``[num_entities, num_triples]``; the response is the observed time.  The
+    non-negativity constraint matches the physical meaning of the parameters
+    (both are average times), and is enforced with ``scipy.optimize.nnls``.
+
+    Raises
+    ------
+    ValueError
+        If fewer than two observations are provided (the fit would be
+        underdetermined).
+    """
+    if len(observations) < 2:
+        raise ValueError("at least two observations are required to fit (c1, c2)")
+    from scipy.optimize import nnls
+
+    design = np.array(
+        [[obs.num_entities, obs.num_triples] for obs in observations], dtype=float
+    )
+    response = np.array([obs.observed_seconds for obs in observations], dtype=float)
+    coefficients, _ = nnls(design, response)
+    model = CostModel(
+        identification_cost=float(coefficients[0]),
+        validation_cost=float(coefficients[1]),
+    )
+    predicted = design @ coefficients
+    residuals = response - predicted
+    total_variation = float(np.sum((response - response.mean()) ** 2))
+    if np.isclose(total_variation, 0.0):
+        r_squared = 1.0 if np.allclose(residuals, 0.0) else 0.0
+    else:
+        r_squared = 1.0 - float(np.sum(residuals**2)) / total_variation
+    return CostFit(
+        model=model,
+        residual_seconds=tuple(float(r) for r in residuals),
+        r_squared=r_squared,
+    )

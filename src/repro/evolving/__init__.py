@@ -1,0 +1,36 @@
+"""Incremental accuracy evaluation on evolving knowledge graphs (Section 6).
+
+Three evaluators share the interface of
+:class:`~repro.evolving.base.IncrementalEvaluator`:
+
+* :class:`~repro.evolving.baseline.BaselineEvolvingEvaluator` — re-runs a
+  fresh static TWCS evaluation on every snapshot, discarding earlier
+  annotations (the paper's Baseline);
+* :class:`~repro.evolving.reservoir_eval.ReservoirIncrementalEvaluator` —
+  Algorithm 1: keeps a size-weighted reservoir of annotated clusters,
+  stochastically refreshing it as insertion batches arrive;
+* :class:`~repro.evolving.stratified_eval.StratifiedIncrementalEvaluator` —
+  Algorithm 2: treats the base KG and every update batch as independent
+  strata, fully reusing earlier estimates and only annotating inside the new
+  stratum.
+
+:class:`~repro.evolving.monitor.EvolvingAccuracyMonitor` drives any of them
+over a sequence of update batches and records the estimate trajectory
+(Section 7.3.2 / Figure 9).
+"""
+
+from repro.evolving.base import IncrementalEvaluator, UpdateEvaluation
+from repro.evolving.baseline import BaselineEvolvingEvaluator
+from repro.evolving.monitor import EvolvingAccuracyMonitor, MonitorRecord
+from repro.evolving.reservoir_eval import ReservoirIncrementalEvaluator
+from repro.evolving.stratified_eval import StratifiedIncrementalEvaluator
+
+__all__ = [
+    "IncrementalEvaluator",
+    "UpdateEvaluation",
+    "BaselineEvolvingEvaluator",
+    "ReservoirIncrementalEvaluator",
+    "StratifiedIncrementalEvaluator",
+    "EvolvingAccuracyMonitor",
+    "MonitorRecord",
+]

@@ -1,0 +1,237 @@
+"""Reservoir Incremental Evaluation — Algorithm 1 of the paper (Section 6.1).
+
+The evaluator maintains a size-weighted sample of entity clusters using the
+Efraimidis–Spirakis A-Res keys ``u^{1/weight}``:
+
+* every cluster of the base KG receives a key; the clusters with the largest
+  keys form the *reservoir* and are the only ones annotated (at most ``m``
+  triples each, as in TWCS);
+* when an insertion batch ``Δ`` arrives, each per-entity insertion set ``Δ_e``
+  is treated as a brand-new cluster (so weights stay constant), receives a key
+  ``u^{1/|Δ_e|}`` and replaces the minimum-key reservoir item whenever its key
+  is larger — the replacement step of Algorithm 1;
+* the accuracy estimate is the mean of the per-cluster sample accuracies of
+  the clusters currently in the reservoir;
+* if, after the stochastic refresh, the margin of error exceeds the threshold,
+  the reservoir is grown: the not-yet-annotated cluster with the next-largest
+  key is pulled in and annotated, exactly as if the static evaluation had
+  asked for one more first-stage draw.
+
+Keeping the keys of *all* clusters (annotated or not) makes the reservoir
+nested in its capacity, so growing it later never contradicts an earlier
+sampling decision.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import EvaluationReport
+from repro.evolving.base import IncrementalEvaluator, UpdateEvaluation
+from repro.kg.triple import Triple
+from repro.kg.updates import UpdateBatch
+from repro.labels.oracle import LabelOracle
+from repro.sampling.base import Estimate
+
+__all__ = ["ReservoirIncrementalEvaluator"]
+
+
+@dataclass
+class _ReservoirEntry:
+    """One annotated cluster currently in the reservoir."""
+
+    cluster_key: str
+    key: float
+    weight: float
+    triples: tuple[Triple, ...]
+    accuracy: float
+
+
+class ReservoirIncrementalEvaluator(IncrementalEvaluator):
+    """Incremental evaluation via weighted reservoir sampling (Algorithm 1)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._rng = np.random.default_rng(self.seed)
+        # Annotated clusters, as a min-heap on the A-Res key.
+        self._reservoir: list[tuple[float, int, _ReservoirEntry]] = []
+        # Clusters that received a key but were never annotated, as a max-heap
+        # (negated keys); used when the reservoir needs to grow.
+        self._candidates: list[tuple[float, int, str, float, tuple[Triple, ...]]] = []
+        self._tiebreak = 0
+        self._replacements_total = 0
+
+    # ------------------------------------------------------------------ #
+    # Key handling
+    # ------------------------------------------------------------------ #
+    def _draw_key(self, weight: float) -> float:
+        uniform = max(float(self._rng.random()), np.finfo(float).tiny)
+        return float(uniform ** (1.0 / weight))
+
+    def _next_tiebreak(self) -> int:
+        self._tiebreak += 1
+        return self._tiebreak
+
+    # ------------------------------------------------------------------ #
+    # Annotation of one cluster (second stage of TWCS)
+    # ------------------------------------------------------------------ #
+    def _annotate_cluster(self, triples: tuple[Triple, ...]) -> tuple[tuple[Triple, ...], float]:
+        take = min(len(triples), self.second_stage_size)
+        chosen_indices = self._rng.choice(len(triples), size=take, replace=False)
+        chosen = tuple(triples[int(i)] for i in chosen_indices)
+        result = self.annotator.annotate_triples(chosen)
+        accuracy = sum(1 for t in chosen if result.labels[t]) / len(chosen)
+        return chosen, accuracy
+
+    def _insert_annotated(
+        self, cluster_key: str, key: float, weight: float, triples: tuple[Triple, ...]
+    ) -> None:
+        sampled, accuracy = self._annotate_cluster(triples)
+        entry = _ReservoirEntry(
+            cluster_key=cluster_key,
+            key=key,
+            weight=weight,
+            triples=sampled,
+            accuracy=accuracy,
+        )
+        heapq.heappush(self._reservoir, (key, self._next_tiebreak(), entry))
+
+    def _push_candidate(
+        self, cluster_key: str, key: float, weight: float, triples: tuple[Triple, ...]
+    ) -> None:
+        heapq.heappush(
+            self._candidates, (-key, self._next_tiebreak(), cluster_key, weight, triples)
+        )
+
+    def _grow_reservoir(self, count: int) -> int:
+        """Annotate the ``count`` highest-key candidates; return how many were added."""
+        added = 0
+        while added < count and self._candidates:
+            negated_key, _, cluster_key, weight, triples = heapq.heappop(self._candidates)
+            self._insert_annotated(cluster_key, -negated_key, weight, triples)
+            added += 1
+        return added
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
+    def _current_estimate(self) -> Estimate:
+        accuracies = [entry.accuracy for _, _, entry in self._reservoir]
+        num_triples = sum(len(entry.triples) for _, _, entry in self._reservoir)
+        n = len(accuracies)
+        if n == 0:
+            return Estimate(value=0.0, std_error=math.inf, num_units=0, num_triples=0)
+        mean = float(np.mean(accuracies))
+        if n < 2:
+            std_error = math.inf
+        else:
+            std_error = float(np.std(accuracies, ddof=1) / math.sqrt(n))
+        return Estimate(value=mean, std_error=std_error, num_units=n, num_triples=num_triples)
+
+    def _satisfy_quality(self) -> tuple[Estimate, int]:
+        """Grow the reservoir until the MoE target is met; return (estimate, iterations)."""
+        config = self.config
+        iterations = 0
+        while True:
+            estimate = self._current_estimate()
+            enough = estimate.num_units >= config.min_units
+            if enough and estimate.satisfies(config.moe_target, config.confidence_level):
+                break
+            if config.max_units is not None and estimate.num_units >= config.max_units:
+                break
+            if not self._candidates:
+                break
+            self._grow_reservoir(config.batch_size)
+            iterations += 1
+        return self._current_estimate(), iterations
+
+    def _build_report(
+        self,
+        estimate: Estimate,
+        iterations: int,
+        cost_before: float,
+        triples_before: int,
+        entities_before: int,
+    ) -> EvaluationReport:
+        return EvaluationReport(
+            estimate=estimate,
+            confidence_level=self.config.confidence_level,
+            moe_target=self.config.moe_target,
+            satisfied=estimate.num_units >= self.config.min_units
+            and estimate.satisfies(self.config.moe_target, self.config.confidence_level),
+            iterations=iterations,
+            num_units=estimate.num_units,
+            num_triples_annotated=self.annotator.total_triples_annotated - triples_before,
+            num_entities_identified=self.annotator.entities_identified - entities_before,
+            annotation_cost_seconds=self.annotator.total_cost_seconds - cost_before,
+        )
+
+    # ------------------------------------------------------------------ #
+    # IncrementalEvaluator interface
+    # ------------------------------------------------------------------ #
+    def evaluate_base(self) -> UpdateEvaluation:
+        """Key every base cluster, annotate the top-key ones until the MoE target holds."""
+        cost_before = self.annotator.total_cost_seconds
+        triples_before = self.annotator.total_triples_annotated
+        entities_before = self.annotator.entities_identified
+        for cluster in self.evolving.base.clusters():
+            key = self._draw_key(float(cluster.size))
+            self._push_candidate(cluster.entity_id, key, float(cluster.size), cluster.triples)
+        estimate, iterations = self._satisfy_quality()
+        report = self._build_report(
+            estimate, iterations, cost_before, triples_before, entities_before
+        )
+        return self._record("base", report)
+
+    def apply_update(self, batch: UpdateBatch, batch_oracle: LabelOracle) -> UpdateEvaluation:
+        """Algorithm 1: stochastically refresh the reservoir, then re-check quality."""
+        if not self._reservoir:
+            raise RuntimeError("evaluate_base() must be called before apply_update()")
+        self._register_update(batch, batch_oracle)
+        cost_before = self.annotator.total_cost_seconds
+        triples_before = self.annotator.total_triples_annotated
+        entities_before = self.annotator.entities_identified
+
+        replacements = 0
+        for cluster_key, insertion in batch.entity_insertions().items():
+            weight = float(insertion.size)
+            key = self._draw_key(weight)
+            smallest_key, _, smallest_entry = self._reservoir[0]
+            if key > smallest_key:
+                # Replace the minimum-key cluster (its annotations are paid for
+                # but no longer contribute to the estimator), as in Algorithm 1.
+                heapq.heappop(self._reservoir)
+                self._push_candidate(
+                    smallest_entry.cluster_key,
+                    smallest_entry.key,
+                    smallest_entry.weight,
+                    smallest_entry.triples,
+                )
+                self._insert_annotated(cluster_key, key, weight, insertion.triples)
+                replacements += 1
+            else:
+                self._push_candidate(cluster_key, key, weight, insertion.triples)
+        self._replacements_total += replacements
+
+        estimate, iterations = self._satisfy_quality()
+        report = self._build_report(
+            estimate, iterations, cost_before, triples_before, entities_before
+        )
+        return self._record(batch.batch_id, report)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def reservoir_size(self) -> int:
+        """Number of annotated clusters currently in the reservoir."""
+        return len(self._reservoir)
+
+    @property
+    def total_replacements(self) -> int:
+        """Total reservoir replacements performed across all update batches."""
+        return self._replacements_total

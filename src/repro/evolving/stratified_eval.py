@@ -1,0 +1,195 @@
+"""Stratified Incremental Evaluation — Algorithm 2 of the paper (Section 6.2).
+
+Every state of the evolving KG is viewed as a union of non-overlapping strata:
+the base graph ``G`` plus one stratum per applied update batch
+``Δ_1, …, Δ_k``.  Evaluation results (estimate and variance) of earlier strata
+are reused verbatim; when a new batch arrives only that batch's stratum is
+sampled (with TWCS) until the *combined* stratified estimate
+
+    µ̂(G + Δ) = Σ_h W_h µ̂_h ,   Var = Σ_h W_h² Var(µ̂_h)
+
+meets the margin-of-error requirement.  Because nothing annotated is ever
+discarded, SS is cheaper than the reservoir approach — but a bad initial
+estimate of a large stratum persists, which is the fault-tolerance trade-off
+shown in Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.framework import StaticEvaluator
+from repro.core.result import EvaluationReport
+from repro.evolving.base import IncrementalEvaluator, UpdateEvaluation
+from repro.kg.updates import UpdateBatch
+from repro.labels.oracle import LabelOracle
+from repro.sampling.base import Estimate
+from repro.sampling.twcs import TwoStageWeightedClusterDesign
+
+__all__ = ["StratifiedIncrementalEvaluator"]
+
+
+@dataclass
+class _StratumState:
+    """Evaluation state of one stratum (the base KG or one update batch)."""
+
+    stratum_id: str
+    num_triples: int
+    design: TwoStageWeightedClusterDesign
+
+    @property
+    def estimate(self) -> Estimate:
+        return self.design.estimate()
+
+
+class StratifiedIncrementalEvaluator(IncrementalEvaluator):
+    """Incremental evaluation with one stratum per update batch (Algorithm 2).
+
+    Parameters
+    ----------
+    min_units_per_stratum:
+        Minimum number of cluster draws annotated inside every new stratum
+        before its variance estimate is trusted; keeps the combined MoE from
+        being declared "satisfied" off a one-cluster stratum sample.
+    """
+
+    def __init__(self, *args, min_units_per_stratum: int = 5, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if min_units_per_stratum < 2:
+            raise ValueError("min_units_per_stratum must be at least 2")
+        self.min_units_per_stratum = min_units_per_stratum
+        self._strata: list[_StratumState] = []
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------ #
+    # Combined estimator (Eq. 13 over base + update strata)
+    # ------------------------------------------------------------------ #
+    def _combined_estimate(self) -> Estimate:
+        total_triples = sum(stratum.num_triples for stratum in self._strata)
+        if total_triples == 0 or not self._strata:
+            return Estimate(value=0.0, std_error=math.inf, num_units=0, num_triples=0)
+        value = 0.0
+        variance = 0.0
+        num_units = 0
+        num_triples = 0
+        undetermined = False
+        for stratum in self._strata:
+            weight = stratum.num_triples / total_triples
+            estimate = stratum.estimate
+            num_units += estimate.num_units
+            num_triples += estimate.num_triples
+            value += weight * estimate.value
+            if math.isinf(estimate.std_error):
+                undetermined = True
+            else:
+                variance += weight * weight * estimate.std_error**2
+        std_error = math.inf if undetermined else math.sqrt(variance)
+        return Estimate(
+            value=value, std_error=std_error, num_units=num_units, num_triples=num_triples
+        )
+
+    def _build_report(
+        self,
+        iterations: int,
+        cost_before: float,
+        triples_before: int,
+        entities_before: int,
+    ) -> EvaluationReport:
+        estimate = self._combined_estimate()
+        satisfied = not math.isinf(estimate.std_error) and estimate.satisfies(
+            self.config.moe_target, self.config.confidence_level
+        )
+        return EvaluationReport(
+            estimate=estimate,
+            confidence_level=self.config.confidence_level,
+            moe_target=self.config.moe_target,
+            satisfied=satisfied,
+            iterations=iterations,
+            num_units=estimate.num_units,
+            num_triples_annotated=self.annotator.total_triples_annotated - triples_before,
+            num_entities_identified=self.annotator.entities_identified - entities_before,
+            annotation_cost_seconds=self.annotator.total_cost_seconds - cost_before,
+        )
+
+    # ------------------------------------------------------------------ #
+    # IncrementalEvaluator interface
+    # ------------------------------------------------------------------ #
+    def evaluate_base(self) -> UpdateEvaluation:
+        """Evaluate the base graph with static TWCS; it becomes the first stratum."""
+        cost_before = self.annotator.total_cost_seconds
+        triples_before = self.annotator.total_triples_annotated
+        entities_before = self.annotator.entities_identified
+        design = TwoStageWeightedClusterDesign(
+            self.evolving.base, second_stage_size=self.second_stage_size, seed=self._rng
+        )
+        evaluator = StaticEvaluator(design, self.annotator, self.config)
+        base_report = evaluator.run(reset=False)
+        self._strata.append(
+            _StratumState(
+                stratum_id="base",
+                num_triples=self.evolving.base.num_triples,
+                design=design,
+            )
+        )
+        report = self._build_report(
+            base_report.iterations, cost_before, triples_before, entities_before
+        )
+        return self._record("base", report)
+
+    def apply_update(self, batch: UpdateBatch, batch_oracle: LabelOracle) -> UpdateEvaluation:
+        """Algorithm 2: sample only inside the new batch's stratum until the MoE holds."""
+        if not self._strata:
+            raise RuntimeError("evaluate_base() must be called before apply_update()")
+        self._register_update(batch, batch_oracle)
+        cost_before = self.annotator.total_cost_seconds
+        triples_before = self.annotator.total_triples_annotated
+        entities_before = self.annotator.entities_identified
+
+        batch_graph = batch.as_knowledge_graph()
+        design = TwoStageWeightedClusterDesign(
+            batch_graph, second_stage_size=self.second_stage_size, seed=self._rng
+        )
+        stratum = _StratumState(
+            stratum_id=batch.batch_id, num_triples=batch.size, design=design
+        )
+        self._strata.append(stratum)
+
+        config = self.config
+        iterations = 0
+        while True:
+            stratum_estimate = stratum.estimate
+            combined = self._combined_estimate()
+            stratum_ready = stratum_estimate.num_units >= self.min_units_per_stratum
+            if (
+                stratum_ready
+                and not math.isinf(combined.std_error)
+                and combined.satisfies(config.moe_target, config.confidence_level)
+            ):
+                break
+            if config.max_units is not None and combined.num_units >= config.max_units:
+                break
+            units = design.draw(config.batch_size)
+            if not units:
+                break
+            iterations += 1
+            for unit in units:
+                result = self.annotator.annotate_triples(unit.triples)
+                design.update(unit, result.labels)
+
+        report = self._build_report(iterations, cost_before, triples_before, entities_before)
+        return self._record(batch.batch_id, report)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_strata(self) -> int:
+        """Number of strata tracked so far (base plus applied batches)."""
+        return len(self._strata)
+
+    def stratum_estimates(self) -> list[tuple[str, Estimate]]:
+        """Return the current per-stratum estimates."""
+        return [(stratum.stratum_id, stratum.estimate) for stratum in self._strata]

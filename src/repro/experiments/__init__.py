@@ -1,0 +1,61 @@
+"""Reproduction harness: one entry point per table and figure of the paper.
+
+Every function returns plain data (lists of dictionaries / small dataclasses)
+so it can be consumed programmatically by the benchmarks and tests, and every
+result can be rendered as a text table with
+:func:`repro.experiments.report.format_table`.
+
+Static-KG experiments (Section 7.2):
+
+* :func:`~repro.experiments.static_experiments.figure1_cost_curves`
+* :func:`~repro.experiments.static_experiments.figure3_accuracy_vs_size`
+* :func:`~repro.experiments.static_experiments.figure4_cost_fit`
+* :func:`~repro.experiments.static_experiments.table4_movie_cost`
+* :func:`~repro.experiments.static_experiments.table5_static_comparison`
+* :func:`~repro.experiments.static_experiments.table6_kgeval_comparison`
+* :func:`~repro.experiments.static_experiments.figure5_confidence_sweep`
+* :func:`~repro.experiments.static_experiments.figure6_optimal_m`
+* :func:`~repro.experiments.static_experiments.table7_stratification`
+* :func:`~repro.experiments.static_experiments.figure7_scalability`
+
+Evolving-KG experiments (Section 7.3):
+
+* :func:`~repro.experiments.evolving_experiments.figure8_single_update`
+* :func:`~repro.experiments.evolving_experiments.figure9_update_sequence`
+"""
+
+from repro.experiments.evolving_experiments import figure8_single_update, figure9_update_sequence
+from repro.experiments.harness import TrialStatistics, run_trials
+from repro.experiments.report import format_table
+from repro.experiments.static_experiments import (
+    figure1_cost_curves,
+    figure3_accuracy_vs_size,
+    figure4_cost_fit,
+    figure5_confidence_sweep,
+    figure6_optimal_m,
+    figure7_scalability,
+    table3_dataset_characteristics,
+    table4_movie_cost,
+    table5_static_comparison,
+    table6_kgeval_comparison,
+    table7_stratification,
+)
+
+__all__ = [
+    "run_trials",
+    "TrialStatistics",
+    "format_table",
+    "table3_dataset_characteristics",
+    "figure1_cost_curves",
+    "figure3_accuracy_vs_size",
+    "figure4_cost_fit",
+    "table4_movie_cost",
+    "table5_static_comparison",
+    "table6_kgeval_comparison",
+    "figure5_confidence_sweep",
+    "figure6_optimal_m",
+    "table7_stratification",
+    "figure7_scalability",
+    "figure8_single_update",
+    "figure9_update_sequence",
+]

@@ -1,0 +1,81 @@
+"""Running repeated randomised trials and aggregating their statistics.
+
+The paper reports every sampling-based number as an average (with standard
+deviation) over 1000 random runs.  :func:`run_trials` provides the same
+machinery with a configurable trial count so the benchmark suite can trade
+precision for wall-clock time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TrialStatistics", "run_trials", "aggregate"]
+
+
+@dataclass(frozen=True)
+class TrialStatistics:
+    """Mean and spread of one scalar metric across repeated trials."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    num_trials: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f}±{self.std:.3f}"
+
+
+def aggregate(values: Sequence[float]) -> TrialStatistics:
+    """Aggregate a sequence of per-trial values into summary statistics."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    array = np.asarray(values, dtype=float)
+    return TrialStatistics(
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        num_trials=int(array.size),
+    )
+
+
+def run_trials(
+    trial: Callable[[int], Mapping[str, float]],
+    num_trials: int,
+    base_seed: int = 0,
+) -> dict[str, TrialStatistics]:
+    """Run ``trial(seed)`` for ``num_trials`` different seeds and aggregate.
+
+    Parameters
+    ----------
+    trial:
+        A callable mapping a seed to a dict of scalar metrics.  Every trial
+        must return the same set of metric names.
+    num_trials:
+        Number of repetitions.
+    base_seed:
+        Seeds used are ``base_seed, base_seed + 1, …``.
+
+    Returns
+    -------
+    dict
+        Metric name → :class:`TrialStatistics` across the trials.
+    """
+    if num_trials < 1:
+        raise ValueError("num_trials must be at least 1")
+    collected: dict[str, list[float]] = {}
+    for index in range(num_trials):
+        metrics = trial(base_seed + index)
+        for name, value in metrics.items():
+            collected.setdefault(name, []).append(float(value))
+    incomplete = {
+        name: len(values) for name, values in collected.items() if len(values) != num_trials
+    }
+    if incomplete:
+        raise ValueError(f"trials returned inconsistent metric sets: {incomplete}")
+    return {name: aggregate(values) for name, values in collected.items()}

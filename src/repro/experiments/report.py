@@ -1,0 +1,62 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows the paper's tables report;
+:func:`format_table` turns a list of row dictionaries into an aligned,
+monospace table (no external dependencies, safe for CI logs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Render one cell: floats rounded, other values via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Format rows as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        One mapping per row.  Missing keys render as empty cells.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional title line printed above the table.
+    precision:
+        Decimal places used for float cells.
+    """
+    if not rows:
+        return title or "(no rows)"
+    column_names = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [
+        [format_value(row.get(column, ""), precision) for column in column_names]
+        for row in rows
+    ]
+    widths = [
+        max(len(column_names[i]), *(len(row[i]) for row in rendered))
+        for i in range(len(column_names))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(name.ljust(width) for name, width in zip(column_names, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

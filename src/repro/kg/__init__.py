@@ -1,0 +1,26 @@
+"""Knowledge-graph data model.
+
+This subpackage provides the substrate on which every sampling design in the
+paper operates: an immutable :class:`~repro.kg.triple.Triple`, an in-memory
+:class:`~repro.kg.graph.KnowledgeGraph` indexed by entity cluster (all triples
+sharing a subject id), an append-only evolution model
+(:class:`~repro.kg.updates.UpdateBatch`,
+:class:`~repro.kg.updates.EvolvingKnowledgeGraph`), plain-text I/O and
+cluster-level statistics.
+"""
+
+from repro.kg.graph import EntityCluster, KnowledgeGraph
+from repro.kg.statistics import ClusterSizeSummary, cluster_size_summary, entity_accuracy_by_size
+from repro.kg.triple import Triple
+from repro.kg.updates import EvolvingKnowledgeGraph, UpdateBatch
+
+__all__ = [
+    "Triple",
+    "EntityCluster",
+    "KnowledgeGraph",
+    "UpdateBatch",
+    "EvolvingKnowledgeGraph",
+    "ClusterSizeSummary",
+    "cluster_size_summary",
+    "entity_accuracy_by_size",
+]

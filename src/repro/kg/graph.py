@@ -1,0 +1,231 @@
+"""In-memory knowledge graph with an entity-cluster index.
+
+The sampling designs in the paper operate on two views of the same graph:
+
+* a flat population of triples (used by simple random sampling), and
+* a population of *entity clusters* ``G[e] = {t : t.subject == e}`` (used by
+  all cluster-sampling designs and by the annotation cost model).
+
+:class:`KnowledgeGraph` maintains both views.  Triples are stored in insertion
+order; the cluster index maps each subject id to the list of triple positions
+belonging to it, so cluster lookups, cluster sizes and per-cluster sampling are
+all O(cluster size) or better.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kg.triple import Triple
+
+__all__ = ["EntityCluster", "KnowledgeGraph"]
+
+
+@dataclass(frozen=True)
+class EntityCluster:
+    """All triples of one subject entity, as a lightweight view.
+
+    Attributes
+    ----------
+    entity_id:
+        The shared subject id.
+    triples:
+        The triples belonging to the cluster, in insertion order.
+    """
+
+    entity_id: str
+    triples: tuple[Triple, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of triples in the cluster (``M_i`` in the paper)."""
+        return len(self.triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self.triples)
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+
+class KnowledgeGraph:
+    """A set of triples indexed by entity cluster.
+
+    Parameters
+    ----------
+    triples:
+        Initial triples.  Duplicates (exact ``(s, p, o)`` repeats) are ignored
+        so the graph behaves as a set, matching the paper's model ``G = {t}``.
+    name:
+        Optional human-readable name used in reports.
+
+    Examples
+    --------
+    >>> kg = KnowledgeGraph([Triple("e1", "bornIn", "NYC")], name="toy")
+    >>> kg.add(Triple("e1", "plays", "basketball"))
+    True
+    >>> kg.num_entities, kg.num_triples
+    (1, 2)
+    >>> kg.cluster("e1").size
+    2
+    """
+
+    def __init__(self, triples: Iterable[Triple] = (), name: str = "kg") -> None:
+        self.name = name
+        self._triples: list[Triple] = []
+        self._triple_set: set[tuple[str, str, str]] = set()
+        self._cluster_index: dict[str, list[int]] = {}
+        for triple in triples:
+            self.add(triple)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, triple: Triple) -> bool:
+        """Insert ``triple``; return ``True`` if it was not already present."""
+        key = triple.as_tuple()
+        if key in self._triple_set:
+            return False
+        self._triple_set.add(key)
+        position = len(self._triples)
+        self._triples.append(triple)
+        self._cluster_index.setdefault(triple.subject, []).append(position)
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; return the number of new triples added."""
+        return sum(1 for t in triples if self.add(t))
+
+    # ------------------------------------------------------------------ #
+    # Size / membership
+    # ------------------------------------------------------------------ #
+    @property
+    def num_triples(self) -> int:
+        """Total number of triples (``M`` in the paper)."""
+        return len(self._triples)
+
+    @property
+    def num_entities(self) -> int:
+        """Number of distinct entity clusters (``N`` in the paper)."""
+        return len(self._cluster_index)
+
+    @property
+    def average_cluster_size(self) -> float:
+        """``M / N``, the average cluster size reported in Table 3."""
+        if not self._cluster_index:
+            return 0.0
+        return self.num_triples / self.num_entities
+
+    def __len__(self) -> int:
+        return self.num_triples
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple.as_tuple() in self._triple_set
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def triples(self) -> Sequence[Triple]:
+        """All triples in insertion order (read-only view)."""
+        return tuple(self._triples)
+
+    def triple_at(self, position: int) -> Triple:
+        """Return the triple stored at ``position`` (insertion order)."""
+        return self._triples[position]
+
+    @property
+    def entity_ids(self) -> Sequence[str]:
+        """All subject entity ids, in first-seen order."""
+        return tuple(self._cluster_index.keys())
+
+    def cluster(self, entity_id: str) -> EntityCluster:
+        """Return the entity cluster ``G[e]`` for ``entity_id``.
+
+        Raises
+        ------
+        KeyError
+            If the entity id has no triples in this graph.
+        """
+        positions = self._cluster_index[entity_id]
+        return EntityCluster(entity_id, tuple(self._triples[i] for i in positions))
+
+    def clusters(self) -> Iterator[EntityCluster]:
+        """Iterate over all entity clusters in first-seen order."""
+        for entity_id in self._cluster_index:
+            yield self.cluster(entity_id)
+
+    def cluster_size(self, entity_id: str) -> int:
+        """Return ``M_i`` for the given entity id."""
+        return len(self._cluster_index[entity_id])
+
+    def cluster_sizes(self) -> Mapping[str, int]:
+        """Return a mapping of entity id to cluster size."""
+        return {entity: len(positions) for entity, positions in self._cluster_index.items()}
+
+    def cluster_size_array(self) -> np.ndarray:
+        """Return cluster sizes as an ``int64`` array aligned with :attr:`entity_ids`."""
+        return np.array([len(p) for p in self._cluster_index.values()], dtype=np.int64)
+
+    def has_entity(self, entity_id: str) -> bool:
+        """Return whether any triple has ``entity_id`` as its subject."""
+        return entity_id in self._cluster_index
+
+    # ------------------------------------------------------------------ #
+    # Sampling helpers
+    # ------------------------------------------------------------------ #
+    def sample_triples(self, count: int, rng: np.random.Generator) -> list[Triple]:
+        """Draw ``count`` triples uniformly at random without replacement."""
+        if count > self.num_triples:
+            raise ValueError(
+                f"cannot draw {count} triples from a graph with {self.num_triples}"
+            )
+        positions = rng.choice(self.num_triples, size=count, replace=False)
+        return [self._triples[int(i)] for i in positions]
+
+    def sample_cluster_triples(
+        self, entity_id: str, count: int, rng: np.random.Generator
+    ) -> list[Triple]:
+        """Draw ``min(count, M_i)`` triples without replacement from one cluster."""
+        positions = self._cluster_index[entity_id]
+        take = min(count, len(positions))
+        chosen = rng.choice(len(positions), size=take, replace=False)
+        return [self._triples[positions[int(i)]] for i in chosen]
+
+    # ------------------------------------------------------------------ #
+    # Derivation
+    # ------------------------------------------------------------------ #
+    def subset(self, entity_ids: Iterable[str], name: str | None = None) -> "KnowledgeGraph":
+        """Return a new graph containing only the clusters in ``entity_ids``."""
+        subset_name = name if name is not None else f"{self.name}-subset"
+        result = KnowledgeGraph(name=subset_name)
+        for entity_id in entity_ids:
+            for position in self._cluster_index.get(entity_id, ()):
+                result.add(self._triples[position])
+        return result
+
+    def random_triple_subset(
+        self, fraction: float, rng: np.random.Generator, name: str | None = None
+    ) -> "KnowledgeGraph":
+        """Return a new graph with a uniformly random ``fraction`` of the triples."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        count = max(1, int(round(fraction * self.num_triples)))
+        subset_name = name if name is not None else f"{self.name}-{fraction:.0%}"
+        return KnowledgeGraph(self.sample_triples(count, rng), name=subset_name)
+
+    def copy(self, name: str | None = None) -> "KnowledgeGraph":
+        """Return a shallow copy of this graph (triples are immutable)."""
+        return KnowledgeGraph(self._triples, name=name if name is not None else self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KnowledgeGraph(name={self.name!r}, entities={self.num_entities}, "
+            f"triples={self.num_triples})"
+        )

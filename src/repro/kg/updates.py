@@ -1,0 +1,128 @@
+"""Append-only evolution of a knowledge graph.
+
+Section 2.1 of the paper models KG evolution as a sequence of triple-level
+insertions that arrive in batches.  A batch ``Δ`` is clustered by subject id
+into per-entity insertion sets ``Δ_e``; the evolved graph is ``G + Δ``.
+
+Section 6.1 additionally treats every ``Δ_e`` as a *new, independent cluster*
+even when the entity already exists in the base graph, so that cluster weights
+stay constant for weighted reservoir sampling.  :class:`UpdateBatch` therefore
+exposes its per-entity insertion sets with batch-scoped cluster keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.kg.graph import EntityCluster, KnowledgeGraph
+from repro.kg.triple import Triple
+
+__all__ = ["UpdateBatch", "EvolvingKnowledgeGraph"]
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """A batch ``Δ`` of triple insertions.
+
+    Parameters
+    ----------
+    batch_id:
+        Identifier of the batch (e.g. ``"delta-3"``); used to derive
+        batch-scoped cluster keys so insertions for an existing entity form a
+        fresh cluster, as required by the reservoir scheme of Section 6.1.
+    triples:
+        The inserted triples.
+    """
+
+    batch_id: str
+    triples: tuple[Triple, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of inserted triples ``|Δ|``."""
+        return len(self.triples)
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self.triples)
+
+    def entity_insertions(self) -> dict[str, EntityCluster]:
+        """Group the insertions by subject id into per-entity clusters ``Δ_e``.
+
+        The returned mapping is keyed by a *batch-scoped* cluster key
+        ``"{batch_id}/{entity_id}"`` so a ``Δ_e`` never merges with the
+        entity's existing cluster in the base graph.
+        """
+        grouped: dict[str, list[Triple]] = {}
+        for triple in self.triples:
+            grouped.setdefault(triple.subject, []).append(triple)
+        return {
+            f"{self.batch_id}/{entity_id}": EntityCluster(entity_id, tuple(triples))
+            for entity_id, triples in grouped.items()
+        }
+
+    def as_knowledge_graph(self, name: str | None = None) -> KnowledgeGraph:
+        """Materialise the batch as a standalone :class:`KnowledgeGraph`.
+
+        Stratified incremental evaluation (Algorithm 2) treats each batch as an
+        independent stratum and runs TWCS on it directly, which needs a full
+        graph view of the batch.
+        """
+        return KnowledgeGraph(self.triples, name=name if name is not None else self.batch_id)
+
+
+class EvolvingKnowledgeGraph:
+    """A knowledge graph plus the ordered sequence of update batches applied to it.
+
+    The class keeps the *current* materialised graph (base plus all applied
+    batches) and remembers each applied batch so incremental evaluators can
+    reason about strata and reservoir updates per batch.
+
+    Examples
+    --------
+    >>> base = KnowledgeGraph([Triple("e1", "p", "o")], name="base")
+    >>> ekg = EvolvingKnowledgeGraph(base)
+    >>> ekg.apply(UpdateBatch("delta-1", (Triple("e2", "p", "o"),)))
+    >>> ekg.current.num_triples
+    2
+    >>> [b.batch_id for b in ekg.applied_batches]
+    ['delta-1']
+    """
+
+    def __init__(self, base: KnowledgeGraph) -> None:
+        self._base = base
+        self._current = base.copy(name=f"{base.name}+updates")
+        self._batches: list[UpdateBatch] = []
+
+    @property
+    def base(self) -> KnowledgeGraph:
+        """The graph before any update batch was applied."""
+        return self._base
+
+    @property
+    def current(self) -> KnowledgeGraph:
+        """The graph after all applied batches (``G + Δ_1 + ... + Δ_k``)."""
+        return self._current
+
+    @property
+    def applied_batches(self) -> Sequence[UpdateBatch]:
+        """The batches applied so far, in application order."""
+        return tuple(self._batches)
+
+    @property
+    def num_batches(self) -> int:
+        """Number of update batches applied so far."""
+        return len(self._batches)
+
+    def apply(self, batch: UpdateBatch) -> None:
+        """Apply one insertion batch to the current graph."""
+        self._current.add_all(batch.triples)
+        self._batches.append(batch)
+
+    def apply_all(self, batches: Iterable[UpdateBatch]) -> None:
+        """Apply a sequence of insertion batches in order."""
+        for batch in batches:
+            self.apply(batch)

@@ -1,0 +1,94 @@
+"""The Binomial Mixture Model (BMM) for synthetic labels.
+
+Section 7.1.2 of the paper: the number of correct triples in the ``i``-th
+entity cluster follows ``Binomial(M_i, p_i)`` where the per-cluster success
+probability ``p_i`` is a sigmoid-like function of the cluster size (Eq. 15):
+
+    p_i = 0.5 + eps                      if M_i < k
+    p_i = 1 / (1 + exp(-c (M_i - k))) + eps   if M_i >= k
+
+with ``eps ~ Normal(0, sigma)`` a small per-cluster noise term and ``c >= 0``
+scaling how strongly cluster size drives accuracy.  Larger ``sigma`` and
+smaller ``c`` weaken the size/accuracy correlation.  Paper defaults:
+``k = 3``, ``c = 0.01``, ``sigma = 0.1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.labels.oracle import LabelOracle
+
+__all__ = ["BinomialMixtureModel"]
+
+
+class BinomialMixtureModel:
+    """Generate labels whose per-cluster accuracy follows Eq. (15).
+
+    Parameters
+    ----------
+    c:
+        Sigmoid steepness; larger values make cluster size a stronger predictor
+        of entity accuracy.  Paper default 0.01.
+    sigma:
+        Standard deviation of the per-cluster noise term ``eps``.  Paper
+        default 0.1.
+    k:
+        Size threshold below which the base success probability is 0.5.
+        Paper default 3.
+    seed:
+        Seed or generator for reproducible draws.
+    """
+
+    def __init__(
+        self,
+        c: float = 0.01,
+        sigma: float = 0.1,
+        k: int = 3,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if c < 0:
+            raise ValueError(f"c must be non-negative, got {c}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        self.c = c
+        self.sigma = sigma
+        self.k = k
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Eq. (15)
+    # ------------------------------------------------------------------ #
+    def cluster_probability(self, cluster_size: int, noise: float = 0.0) -> float:
+        """Return ``p_i`` for a cluster of the given size, clipped to [0, 1]."""
+        if cluster_size < self.k:
+            base = 0.5
+        else:
+            base = 1.0 / (1.0 + np.exp(-self.c * (cluster_size - self.k)))
+        return float(np.clip(base + noise, 0.0, 1.0))
+
+    # ------------------------------------------------------------------ #
+    # Label generation
+    # ------------------------------------------------------------------ #
+    def generate(self, graph: KnowledgeGraph) -> LabelOracle:
+        """Draw per-cluster accuracies and per-triple labels for ``graph``.
+
+        For each cluster we draw ``eps``, compute ``p_i`` via Eq. (15) and then
+        label each triple of the cluster correct independently with probability
+        ``p_i`` (which makes the number of correct triples Binomial(M_i, p_i)).
+        """
+        labels: dict = {}
+        for cluster in graph.clusters():
+            noise = float(self._rng.normal(0.0, self.sigma)) if self.sigma > 0 else 0.0
+            probability = self.cluster_probability(cluster.size, noise)
+            draws = self._rng.random(cluster.size)
+            for triple, draw in zip(cluster, draws):
+                labels[triple] = bool(draw < probability)
+        return LabelOracle(labels)
+
+    def expected_cluster_accuracy(self, cluster_size: int) -> float:
+        """Expected ``p_i`` (noise-free) for a given cluster size."""
+        return self.cluster_probability(cluster_size, noise=0.0)

@@ -1,0 +1,127 @@
+"""Common types shared by every sampling design."""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.kg.triple import Triple
+from repro.stats.ci import ConfidenceInterval, normal_interval
+
+__all__ = ["SampleUnit", "Estimate", "SamplingDesign"]
+
+
+@dataclass(frozen=True)
+class SampleUnit:
+    """One draw made by a sampling design.
+
+    For triple-level designs a unit is a single triple; for cluster designs it
+    is the set of triples selected from one sampled entity cluster (all of them
+    for RCS/WCS, at most ``m`` of them for TWCS).
+
+    Attributes
+    ----------
+    triples:
+        The triples that must be annotated for this unit.
+    entity_id:
+        Subject id of the sampled cluster, or ``None`` for triple-level units.
+    cluster_size:
+        Size ``M_i`` of the sampled cluster (1 for triple-level units).
+    """
+
+    triples: tuple[Triple, ...]
+    entity_id: str | None = None
+    cluster_size: int = 1
+
+    @property
+    def num_triples(self) -> int:
+        """Number of triples that need annotation for this unit."""
+        return len(self.triples)
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate of KG accuracy with its sampling uncertainty.
+
+    Attributes
+    ----------
+    value:
+        The unbiased point estimate ``µ̂``.
+    std_error:
+        Estimated standard error of ``µ̂`` (``inf`` until enough units have
+        been observed for a variance estimate).
+    num_units:
+        Number of sample units the estimate is based on (triples for SRS,
+        cluster draws for cluster designs).
+    num_triples:
+        Total number of triples annotated to produce the estimate.
+    """
+
+    value: float
+    std_error: float
+    num_units: int
+    num_triples: int
+
+    def margin_of_error(self, confidence_level: float) -> float:
+        """Margin of error at the given confidence level (Eq. 1)."""
+        if math.isinf(self.std_error):
+            return math.inf
+        return normal_interval(self.value, self.std_error, confidence_level).margin_of_error
+
+    def confidence_interval(self, confidence_level: float) -> ConfidenceInterval:
+        """Normal-approximation confidence interval, clipped to [0, 1]."""
+        if math.isinf(self.std_error):
+            return ConfidenceInterval(self.value, 0.0, 1.0, confidence_level)
+        return normal_interval(self.value, self.std_error, confidence_level).clipped()
+
+    def satisfies(self, moe_target: float, confidence_level: float) -> bool:
+        """Whether the estimate meets the user-required MoE threshold."""
+        return self.margin_of_error(confidence_level) <= moe_target
+
+
+class SamplingDesign(ABC):
+    """Abstract interface implemented by every sampling design.
+
+    A design owns both the *sampling* state (what may still be drawn) and the
+    *estimation* state (the accumulator over annotated units) so that the
+    iterative framework can interleave drawing, annotation and estimation
+    without re-reading earlier samples.
+    """
+
+    #: Human-readable name of the sampling unit ("triple" or "cluster").
+    unit_name: str = "unit"
+
+    @abstractmethod
+    def draw(self, count: int) -> list[SampleUnit]:
+        """Draw up to ``count`` new sample units.
+
+        May return fewer units than requested when the population is exhausted
+        (e.g. SRS without replacement on a small KG); returns an empty list
+        when nothing is left to draw.
+        """
+
+    @abstractmethod
+    def update(self, unit: SampleUnit, labels: dict[Triple, bool]) -> None:
+        """Fold the annotation results for one unit into the estimator."""
+
+    @abstractmethod
+    def estimate(self) -> Estimate:
+        """Return the current estimate of KG accuracy."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Clear all sampling and estimation state (start a fresh run)."""
+
+    # ------------------------------------------------------------------ #
+    # Conveniences shared by all designs
+    # ------------------------------------------------------------------ #
+    def update_all(self, units: list[SampleUnit], labels: dict[Triple, bool]) -> None:
+        """Update the estimator with several units at once."""
+        for unit in units:
+            self.update(unit, labels)
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the design can no longer produce new sample units."""
+        return False

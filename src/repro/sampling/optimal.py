@@ -1,0 +1,145 @@
+"""Expected annotation cost and the optimal second-stage size ``m``.
+
+Implements the cost analyses of Section 5:
+
+* :func:`expected_srs_cost_seconds` — objective (6): the expected cost of an
+  SRS sample of ``n_s`` triples, which charges ``c1`` per *distinct* entity the
+  sample happens to touch (``E[n_c] = Σ_i (1 - (1 - M_i/M)^{n_s})``) plus
+  ``c2`` per triple;
+* :func:`expected_twcs_cost_seconds` — the upper-bound objective (11):
+  ``n·c1 + n·m·c2`` for ``n`` cluster draws with second-stage size ``m``;
+* :func:`optimal_second_stage_size` — minimises objective (12),
+  ``V(m)·z²/ε² · (c1 + m·c2)``, by direct search over a discrete range of
+  ``m``, exactly as the paper suggests (no closed form exists).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cost.model import CostModel
+from repro.sampling.variance import srs_variance, twcs_v_of_m
+from repro.stats.ci import normal_critical_value
+
+__all__ = [
+    "expected_srs_cost_seconds",
+    "expected_twcs_cost_seconds",
+    "required_srs_sample_size",
+    "required_twcs_cluster_draws",
+    "OptimalSecondStage",
+    "optimal_second_stage_size",
+]
+
+
+def expected_srs_cost_seconds(
+    cluster_sizes: Sequence[int], num_sampled_triples: int, cost_model: CostModel
+) -> float:
+    """Objective (6): expected annotation cost of an SRS sample of given size."""
+    if num_sampled_triples < 0:
+        raise ValueError("num_sampled_triples must be non-negative")
+    sizes = np.asarray(cluster_sizes, dtype=float)
+    if sizes.size == 0:
+        raise ValueError("at least one cluster is required")
+    total = sizes.sum()
+    expected_entities = float(np.sum(1.0 - np.power(1.0 - sizes / total, num_sampled_triples)))
+    return (
+        expected_entities * cost_model.identification_cost
+        + num_sampled_triples * cost_model.validation_cost
+    )
+
+
+def expected_twcs_cost_seconds(
+    num_cluster_draws: int, second_stage_size: int, cost_model: CostModel
+) -> float:
+    """Objective (11): upper-bound cost ``n·c1 + n·m·c2`` of a TWCS sample."""
+    if num_cluster_draws < 0:
+        raise ValueError("num_cluster_draws must be non-negative")
+    return num_cluster_draws * cost_model.per_cluster_cost_upper_bound(second_stage_size)
+
+
+def required_srs_sample_size(
+    accuracy_guess: float, moe_target: float, confidence_level: float
+) -> int:
+    """The SRS sample size ``n_s = µ(1-µ) z² / ε²`` from Section 5.1."""
+    z = normal_critical_value(confidence_level)
+    variance = srs_variance(accuracy_guess)
+    return max(1, int(np.ceil(variance * z * z / (moe_target * moe_target))))
+
+
+def required_twcs_cluster_draws(
+    cluster_sizes: Sequence[int],
+    cluster_accuracies: Sequence[float],
+    second_stage_size: int,
+    moe_target: float,
+    confidence_level: float,
+) -> int:
+    """First-stage draws needed so the MoE constraint holds: ``n = V(m) z² / ε²``."""
+    if moe_target <= 0:
+        raise ValueError("moe_target must be positive")
+    z = normal_critical_value(confidence_level)
+    v_of_m = twcs_v_of_m(cluster_sizes, cluster_accuracies, second_stage_size)
+    return max(1, int(np.ceil(v_of_m * z * z / (moe_target * moe_target))))
+
+
+@dataclass(frozen=True)
+class OptimalSecondStage:
+    """Result of the optimal-m search."""
+
+    second_stage_size: int
+    num_cluster_draws: int
+    expected_cost_seconds: float
+    cost_by_m: dict[int, float]
+
+    @property
+    def expected_cost_hours(self) -> float:
+        """Expected cost in hours at the optimum."""
+        return self.expected_cost_seconds / 3600.0
+
+
+def optimal_second_stage_size(
+    cluster_sizes: Sequence[int],
+    cluster_accuracies: Sequence[float],
+    cost_model: CostModel,
+    moe_target: float = 0.05,
+    confidence_level: float = 0.95,
+    max_second_stage_size: int = 30,
+) -> OptimalSecondStage:
+    """Minimise objective (12) by direct search over ``m``.
+
+    Parameters
+    ----------
+    cluster_sizes, cluster_accuracies:
+        Population (or pilot-estimated) cluster sizes and accuracies.
+    cost_model:
+        The ``(c1, c2)`` annotation cost parameters.
+    moe_target, confidence_level:
+        The quality requirement that fixes the number of first-stage draws for
+        each candidate ``m``.
+    max_second_stage_size:
+        Largest ``m`` considered in the search.
+    """
+    if max_second_stage_size < 1:
+        raise ValueError("max_second_stage_size must be at least 1")
+    z = normal_critical_value(confidence_level)
+    cost_by_m: dict[int, float] = {}
+    best_m = 1
+    best_cost = float("inf")
+    best_draws = 1
+    for m in range(1, max_second_stage_size + 1):
+        v_of_m = twcs_v_of_m(cluster_sizes, cluster_accuracies, m)
+        draws = max(1, int(np.ceil(v_of_m * z * z / (moe_target * moe_target))))
+        cost = expected_twcs_cost_seconds(draws, m, cost_model)
+        cost_by_m[m] = cost
+        if cost < best_cost:
+            best_cost = cost
+            best_m = m
+            best_draws = draws
+    return OptimalSecondStage(
+        second_stage_size=best_m,
+        num_cluster_draws=best_draws,
+        expected_cost_seconds=best_cost,
+        cost_by_m=cost_by_m,
+    )

@@ -1,0 +1,142 @@
+"""Weighted reservoir sampling (Efraimidis & Spirakis, Algorithm A-Res).
+
+The reservoir incremental evaluation of Section 6.1 maintains a fixed-size,
+size-weighted sample of entity clusters as the KG grows: each cluster ``i``
+with weight ``w_i`` (its size) receives a key ``u_i^{1/w_i}`` with
+``u_i ~ Uniform(0, 1)``, and the reservoir keeps the ``n`` clusters with the
+largest keys.  Offering a new cluster therefore evicts the current minimum-key
+cluster whenever the new key is larger — exactly the update step of
+Algorithm 1 in the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ReservoirItem", "WeightedReservoir"]
+
+
+@dataclass(frozen=True)
+class ReservoirItem:
+    """One cluster held in the reservoir."""
+
+    item_id: str
+    weight: float
+    key: float
+    payload: Any = None
+
+
+class WeightedReservoir:
+    """A fixed-capacity reservoir holding the items with the largest A-Res keys.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of items retained (``|R|`` in the paper).
+    seed:
+        Seed or generator for the uniform key draws.
+
+    Notes
+    -----
+    The reservoir is maintained as a min-heap on the keys so each offer costs
+    O(log capacity).  Items are compared only through their keys; ties are
+    broken arbitrarily (they occur with probability zero for continuous keys).
+    """
+
+    def __init__(self, capacity: int, seed: int | np.random.Generator | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        # Heap entries are (key, insertion_counter, ReservoirItem); the counter
+        # breaks ties without ever comparing payloads.
+        self._heap: list[tuple[float, int, ReservoirItem]] = []
+        self._counter = 0
+        self._num_replacements = 0
+        self._num_offers = 0
+
+    # ------------------------------------------------------------------ #
+    # Key generation
+    # ------------------------------------------------------------------ #
+    def _draw_key(self, weight: float) -> float:
+        if weight <= 0:
+            raise ValueError("item weight must be positive")
+        uniform = float(self._rng.random())
+        # Guard against log(0); probability zero but numerically possible.
+        uniform = max(uniform, np.finfo(float).tiny)
+        return float(uniform ** (1.0 / weight))
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def offer(self, item_id: str, weight: float, payload: Any = None) -> ReservoirItem | None:
+        """Offer one item; return the evicted item if a replacement happened.
+
+        Returns ``None`` when the item was accepted without eviction (the
+        reservoir was not yet full) or when the item was rejected.
+        The newly created :class:`ReservoirItem` can be recovered from
+        :attr:`items` when needed.
+        """
+        self._num_offers += 1
+        key = self._draw_key(weight)
+        item = ReservoirItem(item_id=item_id, weight=weight, key=key, payload=payload)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, (key, self._counter, item))
+            self._counter += 1
+            return None
+        smallest_key, _, smallest_item = self._heap[0]
+        if key > smallest_key:
+            heapq.heapreplace(self._heap, (key, self._counter, item))
+            self._counter += 1
+            self._num_replacements += 1
+            return smallest_item
+        return None
+
+    def contains(self, item_id: str) -> bool:
+        """Whether an item with the given id is currently in the reservoir."""
+        return any(entry[2].item_id == item_id for entry in self._heap)
+
+    # ------------------------------------------------------------------ #
+    # Read-outs
+    # ------------------------------------------------------------------ #
+    @property
+    def items(self) -> list[ReservoirItem]:
+        """The items currently in the reservoir (unordered)."""
+        return [entry[2] for entry in self._heap]
+
+    @property
+    def size(self) -> int:
+        """Number of items currently held."""
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the reservoir has reached its capacity."""
+        return len(self._heap) >= self.capacity
+
+    @property
+    def min_key(self) -> float:
+        """The smallest key currently in the reservoir (``inf`` when empty)."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    @property
+    def num_replacements(self) -> int:
+        """Number of evictions performed since construction."""
+        return self._num_replacements
+
+    @property
+    def num_offers(self) -> int:
+        """Number of items offered since construction."""
+        return self._num_offers
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self):
+        return iter(self.items)

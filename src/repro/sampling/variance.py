@@ -1,0 +1,91 @@
+"""Theoretical variances used in the paper's cost analyses.
+
+* :func:`srs_variance` — the binomial population variance ``µ(1-µ)`` behind the
+  SRS sample-size formula of Section 5.1;
+* :func:`twcs_theoretical_variance` — Eq. (10), the variance of the TWCS
+  estimator ``µ̂_{w,m}`` for a given second-stage size ``m``:
+
+    Var(µ̂_{w,m}) = (1/(nM)) [ Σ_i M_i (µ_i - µ)^2
+                               + (1/m) Σ_{i: M_i > m} ((M_i - m)/(M_i - 1)) M_i µ_i (1-µ_i) ]
+
+  The first term is the between-cluster component; the second is the
+  within-cluster component, damped by the finite-population correction
+  ``(M_i - m)/(M_i - 1)`` because the second stage samples without
+  replacement.  ``V(m)`` (the bracketed part divided by ``M``) is what the
+  optimal-m objective Eq. (12) minimises.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["srs_variance", "twcs_v_of_m", "twcs_theoretical_variance"]
+
+
+def srs_variance(accuracy: float) -> float:
+    """Population variance ``µ (1 - µ)`` of a single Bernoulli triple label."""
+    if not 0.0 <= accuracy <= 1.0:
+        raise ValueError("accuracy must be in [0, 1]")
+    return accuracy * (1.0 - accuracy)
+
+
+def _validate_clusters(
+    cluster_sizes: Sequence[int], cluster_accuracies: Sequence[float]
+) -> tuple[np.ndarray, np.ndarray]:
+    sizes = np.asarray(cluster_sizes, dtype=float)
+    accuracies = np.asarray(cluster_accuracies, dtype=float)
+    if sizes.shape != accuracies.shape:
+        raise ValueError("cluster_sizes and cluster_accuracies must have the same length")
+    if sizes.size == 0:
+        raise ValueError("at least one cluster is required")
+    if np.any(sizes < 1):
+        raise ValueError("cluster sizes must be at least 1")
+    if np.any((accuracies < 0) | (accuracies > 1)):
+        raise ValueError("cluster accuracies must be in [0, 1]")
+    return sizes, accuracies
+
+
+def twcs_v_of_m(
+    cluster_sizes: Sequence[int],
+    cluster_accuracies: Sequence[float],
+    second_stage_size: int,
+) -> float:
+    """The per-cluster-draw variance ``V(m)`` from Section 5.2.3.
+
+    ``Var(µ̂_{w,m}) = V(m) / n`` for ``n`` first-stage cluster draws, so the
+    sample-size requirement becomes ``n >= V(m) z^2 / ε^2``.
+    """
+    if second_stage_size < 1:
+        raise ValueError("second_stage_size must be at least 1")
+    sizes, accuracies = _validate_clusters(cluster_sizes, cluster_accuracies)
+    total_triples = sizes.sum()
+    overall_accuracy = float(np.dot(sizes, accuracies) / total_triples)
+
+    between = float(np.dot(sizes, (accuracies - overall_accuracy) ** 2))
+
+    larger = sizes > second_stage_size
+    if np.any(larger):
+        sizes_large = sizes[larger]
+        accuracies_large = accuracies[larger]
+        fpc = (sizes_large - second_stage_size) / (sizes_large - 1.0)
+        within = float(
+            np.sum(fpc * sizes_large * accuracies_large * (1.0 - accuracies_large))
+        ) / second_stage_size
+    else:
+        within = 0.0
+
+    return (between + within) / total_triples
+
+
+def twcs_theoretical_variance(
+    cluster_sizes: Sequence[int],
+    cluster_accuracies: Sequence[float],
+    second_stage_size: int,
+    num_cluster_draws: int,
+) -> float:
+    """Eq. (10): the variance of ``µ̂_{w,m}`` for ``n`` first-stage draws."""
+    if num_cluster_draws < 1:
+        raise ValueError("num_cluster_draws must be at least 1")
+    return twcs_v_of_m(cluster_sizes, cluster_accuracies, second_stage_size) / num_cluster_draws

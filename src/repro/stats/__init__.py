@@ -1,0 +1,37 @@
+"""Statistical building blocks shared by every sampling design.
+
+* confidence intervals and margins of error (:mod:`repro.stats.ci`);
+* running (Welford) moments for incremental estimation
+  (:mod:`repro.stats.running`);
+* stratum construction and sample allocation
+  (:mod:`repro.stats.allocation`), including the cumulative-square-root-of-
+  frequency rule of Dalenius & Hodges used by the paper's size stratification.
+"""
+
+from repro.stats.allocation import (
+    cumulative_sqrt_frequency_boundaries,
+    neyman_allocation,
+    proportional_allocation,
+)
+from repro.stats.ci import (
+    ConfidenceInterval,
+    margin_of_error,
+    normal_critical_value,
+    normal_interval,
+    required_sample_size,
+    wilson_interval,
+)
+from repro.stats.running import RunningMean
+
+__all__ = [
+    "ConfidenceInterval",
+    "normal_critical_value",
+    "normal_interval",
+    "wilson_interval",
+    "margin_of_error",
+    "required_sample_size",
+    "RunningMean",
+    "proportional_allocation",
+    "neyman_allocation",
+    "cumulative_sqrt_frequency_boundaries",
+]

@@ -1,0 +1,102 @@
+"""Running (incremental) moment computation.
+
+The iterative evaluation framework of the paper draws samples in small batches
+and re-estimates after each batch.  :class:`RunningMean` keeps Welford-style
+running moments so the estimate, sample variance and standard error of the
+mean are available at any time without revisiting earlier observations.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+__all__ = ["RunningMean"]
+
+
+class RunningMean:
+    """Numerically stable running mean / variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def add(self, value: float) -> None:
+        """Add one observation."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    def add_all(self, values: Iterable[float]) -> None:
+        """Add many observations."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "RunningMean") -> None:
+        """Merge another accumulator into this one (parallel Welford merge)."""
+        if other._count == 0:
+            return
+        if self._count == 0:
+            self._count = other._count
+            self._mean = other._mean
+            self._m2 = other._m2
+            return
+        total = self._count + other._count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._count * other._count / total
+        self._mean = (self._count * self._mean + other._count * other._mean) / total
+        self._count = total
+
+    # ------------------------------------------------------------------ #
+    # Read-outs
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        """Number of observations seen so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def sample_variance(self) -> float:
+        """Unbiased sample variance (``ddof=1``); 0.0 with fewer than 2 points."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def population_variance(self) -> float:
+        """Population variance (``ddof=0``); 0.0 when empty."""
+        if self._count == 0:
+            return 0.0
+        return self._m2 / self._count
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean ``sqrt(s^2 / n)``.
+
+        Returns ``inf`` with fewer than 2 observations so that any
+        margin-of-error stopping rule keeps sampling.
+        """
+        if self._count < 2:
+            return math.inf
+        return math.sqrt(self.sample_variance / self._count)
+
+    def copy(self) -> "RunningMean":
+        """Return an independent copy of this accumulator."""
+        clone = RunningMean()
+        clone._count = self._count
+        clone._mean = self._mean
+        clone._m2 = self._m2
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunningMean(count={self._count}, mean={self.mean:.4f})"

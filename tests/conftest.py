@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost.annotator import SimulatedAnnotator
+from repro.cost.model import CostModel
+from repro.generators.datasets import LabelledKG, make_movie_like, make_nell_like, make_yago_like
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+from repro.labels.oracle import LabelOracle
+
+
+def build_toy_kg() -> tuple[KnowledgeGraph, LabelOracle]:
+    """A small handcrafted KG with exactly known cluster structure and labels.
+
+    Layout (entity: sizes / correct counts):
+
+    * ``athlete_1``: 4 triples, 3 correct (accuracy 0.75)
+    * ``athlete_2``: 2 triples, 2 correct (accuracy 1.0)
+    * ``movie_1``:   6 triples, 3 correct (accuracy 0.5)
+    * ``city_1``:    1 triple, 0 correct (accuracy 0.0)
+
+    Total: 13 triples, 8 correct → overall accuracy 8/13 ≈ 0.6154.
+    """
+    spec = {
+        "athlete_1": [True, True, True, False],
+        "athlete_2": [True, True],
+        "movie_1": [True, False, True, False, True, False],
+        "city_1": [False],
+    }
+    graph = KnowledgeGraph(name="toy")
+    labels: dict[Triple, bool] = {}
+    for entity, flags in spec.items():
+        for index, flag in enumerate(flags):
+            triple = Triple(entity, f"predicate_{index}", f"object_{entity}_{index}")
+            graph.add(triple)
+            labels[triple] = flag
+    return graph, LabelOracle(labels)
+
+
+@pytest.fixture()
+def toy_kg() -> tuple[KnowledgeGraph, LabelOracle]:
+    """Fresh toy KG and oracle for each test."""
+    return build_toy_kg()
+
+
+@pytest.fixture()
+def toy_graph(toy_kg) -> KnowledgeGraph:
+    return toy_kg[0]
+
+
+@pytest.fixture()
+def toy_oracle(toy_kg) -> LabelOracle:
+    return toy_kg[1]
+
+
+@pytest.fixture()
+def toy_annotator(toy_oracle) -> SimulatedAnnotator:
+    """Deterministic annotator (no timing noise) over the toy oracle."""
+    return SimulatedAnnotator(toy_oracle, cost_model=CostModel(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def nell() -> LabelledKG:
+    """Session-scoped NELL-like dataset (≈1 800 triples)."""
+    return make_nell_like(seed=0)
+
+
+@pytest.fixture(scope="session")
+def yago() -> LabelledKG:
+    """Session-scoped YAGO-like dataset (≈1 400 triples, 99% accurate)."""
+    return make_yago_like(seed=0)
+
+
+@pytest.fixture(scope="session")
+def movie_small() -> LabelledKG:
+    """Session-scoped, heavily scaled MOVIE-like dataset (fast tests)."""
+    return make_movie_like(seed=0, scale=0.005)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic random generator."""
+    return np.random.default_rng(1234)

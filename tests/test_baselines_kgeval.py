@@ -1,0 +1,145 @@
+"""Unit tests for the coupling graph and the KGEval baseline."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.baselines.coupling import CouplingGraphBuilder
+from repro.baselines.kgeval import KGEvalBaseline
+from repro.cost.annotator import SimulatedAnnotator
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+from repro.labels.oracle import LabelOracle
+
+
+class TestCouplingGraphBuilder:
+    def test_every_triple_is_a_node(self, toy_graph):
+        graph = CouplingGraphBuilder(seed=0).build(toy_graph)
+        assert graph.number_of_nodes() == toy_graph.num_triples
+
+    def test_same_subject_predicate_triples_are_coupled(self):
+        kg = KnowledgeGraph(
+            [
+                Triple("e1", "bornIn", "NYC"),
+                Triple("e1", "bornIn", "LA"),
+                Triple("e2", "diedIn", "Rome"),
+            ]
+        )
+        coupling = CouplingGraphBuilder(seed=0).build(kg)
+        assert coupling.has_edge(Triple("e1", "bornIn", "NYC"), Triple("e1", "bornIn", "LA"))
+
+    def test_same_predicate_object_triples_are_coupled(self):
+        kg = KnowledgeGraph(
+            [
+                Triple("e1", "bornIn", "NYC"),
+                Triple("e2", "bornIn", "NYC"),
+                Triple("e3", "diedIn", "Rome"),
+            ]
+        )
+        coupling = CouplingGraphBuilder(seed=0).build(kg)
+        assert coupling.has_edge(Triple("e1", "bornIn", "NYC"), Triple("e2", "bornIn", "NYC"))
+
+    def test_entity_cluster_triples_are_coupled(self, toy_graph):
+        coupling = CouplingGraphBuilder(seed=0).build(toy_graph)
+        cluster = list(toy_graph.cluster("athlete_1"))
+        assert coupling.has_edge(cluster[0], cluster[1])
+
+    def test_edge_weights_accumulate(self):
+        kg = KnowledgeGraph([Triple("e1", "p", "o"), Triple("e1", "p", "o2")])
+        builder = CouplingGraphBuilder(
+            subject_predicate_weight=1.0, entity_weight=0.5, predicate_weight=0.0, seed=0
+        )
+        coupling = builder.build(kg)
+        weight = coupling[Triple("e1", "p", "o")][Triple("e1", "p", "o2")]["weight"]
+        # subject-predicate (1.0) + entity (0.5) couplings stack.
+        assert weight == pytest.approx(1.5)
+
+    def test_large_groups_connected_sparsely(self):
+        triples = [Triple(f"e{i}", "sharedPredicate", f"o{i}") for i in range(200)]
+        kg = KnowledgeGraph(triples)
+        builder = CouplingGraphBuilder(max_group_size=30, sparse_degree=2, seed=0)
+        coupling = builder.build(kg)
+        # A clique over 200 nodes would have ~19 900 edges; the sparse
+        # connection keeps it linear in the group size.
+        assert coupling.number_of_edges() < 200 * 4
+        assert nx.number_of_isolates(coupling) == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CouplingGraphBuilder(max_group_size=1)
+        with pytest.raises(ValueError):
+            CouplingGraphBuilder(sparse_degree=0)
+
+
+class TestKGEvalBaseline:
+    def test_parameter_validation(self, toy_kg):
+        graph, oracle = toy_kg
+        annotator = SimulatedAnnotator(oracle)
+        with pytest.raises(ValueError):
+            KGEvalBaseline(graph, annotator, coverage_target=0.0)
+        with pytest.raises(ValueError):
+            KGEvalBaseline(graph, annotator, inference_threshold=0.0)
+        with pytest.raises(ValueError):
+            KGEvalBaseline(graph, annotator, propagation_decay=0.0)
+
+    def test_runs_on_toy_graph_and_reaches_coverage(self, toy_kg):
+        graph, oracle = toy_kg
+        annotator = SimulatedAnnotator(oracle)
+        baseline = KGEvalBaseline(graph, annotator, coverage_target=0.9)
+        result = baseline.run()
+        assert result.coverage >= 0.9
+        assert 0.0 <= result.estimated_accuracy <= 1.0
+        assert result.num_annotated + result.num_inferred >= 0.9 * graph.num_triples
+        assert result.annotation_cost_seconds == pytest.approx(
+            annotator.total_cost_seconds
+        )
+
+    def test_annotation_budget_respected(self, nell):
+        annotator = SimulatedAnnotator(nell.oracle)
+        baseline = KGEvalBaseline(nell.graph, annotator, max_annotations=10)
+        result = baseline.run()
+        assert result.num_annotated <= 10
+
+    def test_inference_propagates_labels(self, nell):
+        annotator = SimulatedAnnotator(nell.oracle)
+        baseline = KGEvalBaseline(nell.graph, annotator, coverage_target=0.8)
+        result = baseline.run()
+        # The whole point of KGEval: far fewer annotations than covered triples.
+        assert result.num_inferred > result.num_annotated
+        assert result.num_annotated < 0.5 * nell.graph.num_triples
+
+    def test_estimate_roughly_tracks_truth_on_nell(self, nell):
+        annotator = SimulatedAnnotator(nell.oracle)
+        baseline = KGEvalBaseline(nell.graph, annotator, coverage_target=0.85)
+        result = baseline.run()
+        # No statistical guarantee (that is the paper's criticism), but the
+        # propagation should not be wildly off on a 91%-accurate KG.
+        assert abs(result.estimated_accuracy - nell.true_accuracy) < 0.15
+
+    def test_machine_time_recorded(self, toy_kg):
+        graph, oracle = toy_kg
+        baseline = KGEvalBaseline(graph, SimulatedAnnotator(oracle))
+        result = baseline.run()
+        assert result.machine_time_seconds > 0.0
+        assert result.annotation_cost_hours == pytest.approx(
+            result.annotation_cost_seconds / 3600
+        )
+
+    def test_zero_coupling_degenerates_to_exhaustive_annotation(self):
+        """With no coupling evidence the baseline must annotate (almost) everything."""
+        triples = [Triple(f"e{i}", f"p{i}", f"o{i}") for i in range(20)]
+        kg = KnowledgeGraph(triples)
+        oracle = LabelOracle({t: True for t in triples})
+        builder = CouplingGraphBuilder(
+            subject_predicate_weight=0.0,
+            predicate_object_weight=0.0,
+            entity_weight=0.0,
+            predicate_weight=0.0,
+            seed=0,
+        )
+        baseline = KGEvalBaseline(kg, SimulatedAnnotator(oracle), builder=builder, coverage_target=1.0)
+        result = baseline.run()
+        assert result.num_annotated == 20
+        assert result.num_inferred == 0
+        assert result.estimated_accuracy == 1.0

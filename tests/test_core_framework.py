@@ -1,0 +1,193 @@
+"""Unit tests for the iterative evaluation framework (config, report, evaluator)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import EvaluationConfig
+from repro.core.framework import StaticEvaluator, evaluate_accuracy
+from repro.cost.annotator import SimulatedAnnotator
+from repro.sampling.srs import SimpleRandomDesign
+from repro.sampling.twcs import TwoStageWeightedClusterDesign
+from repro.sampling.wcs import WeightedClusterDesign
+
+
+class TestEvaluationConfig:
+    def test_defaults_match_paper_task(self):
+        config = EvaluationConfig()
+        assert config.moe_target == 0.05
+        assert config.confidence_level == 0.95
+        assert config.min_units == 30
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"moe_target": 0.0},
+            {"moe_target": 1.0},
+            {"confidence_level": 1.0},
+            {"batch_size": 0},
+            {"min_units": 1},
+            {"min_units": 50, "max_units": 10},
+        ],
+    )
+    def test_invalid_configurations(self, kwargs):
+        with pytest.raises(ValueError):
+            EvaluationConfig(**kwargs)
+
+
+class TestStaticEvaluator:
+    def test_stops_once_moe_satisfied(self, nell):
+        design = TwoStageWeightedClusterDesign(nell.graph, second_stage_size=5, seed=0)
+        annotator = SimulatedAnnotator(nell.oracle, seed=0)
+        config = EvaluationConfig(moe_target=0.05, confidence_level=0.95, batch_size=10)
+        report = StaticEvaluator(design, annotator, config).run()
+        assert report.satisfied
+        assert report.margin_of_error <= 0.05
+        assert report.num_units >= config.min_units
+        # No over-sampling: removing the last batch must violate the MoE
+        # requirement or the minimum-units requirement.
+        assert report.num_units <= config.min_units or report.iterations >= 1
+
+    def test_min_units_enforced_even_if_moe_tiny(self, yago):
+        """On a highly accurate KG the MoE is tiny immediately, but the CLT
+        minimum still applies."""
+        design = SimpleRandomDesign(yago.graph, seed=0)
+        annotator = SimulatedAnnotator(yago.oracle, seed=0)
+        config = EvaluationConfig(moe_target=0.05, min_units=30, batch_size=10)
+        report = StaticEvaluator(design, annotator, config).run()
+        assert report.num_units >= 30
+
+    def test_max_units_budget_respected(self, nell):
+        # Cluster accuracies on NELL vary between 0 and 1, so a 0.1% MoE is far
+        # out of reach within a 50-cluster budget.
+        design = WeightedClusterDesign(nell.graph, seed=0)
+        annotator = SimulatedAnnotator(nell.oracle, seed=0)
+        config = EvaluationConfig(
+            moe_target=0.001, confidence_level=0.95, batch_size=10, max_units=50
+        )
+        report = StaticEvaluator(design, annotator, config).run()
+        assert report.num_units <= 50 + config.batch_size
+        assert not report.satisfied
+
+    def test_population_exhaustion_terminates(self, toy_kg):
+        graph, oracle = toy_kg
+        design = SimpleRandomDesign(graph, seed=0)
+        annotator = SimulatedAnnotator(oracle, seed=0)
+        config = EvaluationConfig(moe_target=0.01, batch_size=5, min_units=5)
+        report = StaticEvaluator(design, annotator, config).run()
+        assert report.num_triples_annotated == graph.num_triples
+        assert report.accuracy == pytest.approx(oracle.true_accuracy(graph))
+
+    def test_cost_accounting_matches_annotator(self, nell):
+        design = TwoStageWeightedClusterDesign(nell.graph, second_stage_size=5, seed=1)
+        annotator = SimulatedAnnotator(nell.oracle, seed=1)
+        report = StaticEvaluator(design, annotator).run()
+        assert report.annotation_cost_seconds == pytest.approx(annotator.total_cost_seconds)
+        assert report.num_triples_annotated == annotator.total_triples_annotated
+        assert report.num_entities_identified == annotator.entities_identified
+        assert report.annotation_cost_hours == pytest.approx(
+            report.annotation_cost_seconds / 3600
+        )
+
+    def test_run_with_reset_false_continues_previous_state(self, nell):
+        design = TwoStageWeightedClusterDesign(nell.graph, second_stage_size=5, seed=2)
+        annotator = SimulatedAnnotator(nell.oracle, seed=2)
+        config = EvaluationConfig(moe_target=0.08)
+        evaluator = StaticEvaluator(design, annotator, config)
+        first = evaluator.run()
+        # Tighten the requirement and continue without resetting: the design
+        # must keep its earlier units.
+        evaluator.config = EvaluationConfig(moe_target=0.04)
+        second = evaluator.run(reset=False)
+        assert second.num_units >= first.num_units
+        assert second.margin_of_error <= 0.04
+
+    def test_run_with_reset_true_clears_annotator(self, nell):
+        design = TwoStageWeightedClusterDesign(nell.graph, second_stage_size=5, seed=3)
+        annotator = SimulatedAnnotator(nell.oracle, seed=3)
+        evaluator = StaticEvaluator(design, annotator)
+        evaluator.run()
+        first_cost = annotator.total_cost_seconds
+        evaluator.run(reset=True)
+        # A fresh run re-charges from zero, so the session total is not the sum.
+        assert annotator.total_cost_seconds < 2 * first_cost
+
+    def test_estimates_are_probabilities(self, movie_small):
+        for seed in range(5):
+            design = WeightedClusterDesign(movie_small.graph, seed=seed)
+            annotator = SimulatedAnnotator(movie_small.oracle, seed=seed)
+            report = StaticEvaluator(design, annotator).run()
+            assert 0.0 <= report.accuracy <= 1.0
+            interval = report.confidence_interval
+            assert 0.0 <= interval.lower <= interval.upper <= 1.0
+
+
+class TestEvaluateAccuracyHelper:
+    def test_convenience_wrapper(self, nell):
+        design = TwoStageWeightedClusterDesign(nell.graph, second_stage_size=5, seed=0)
+        annotator = SimulatedAnnotator(nell.oracle, seed=0)
+        report = evaluate_accuracy(design, annotator, moe_target=0.05)
+        assert report.satisfied
+        assert abs(report.accuracy - nell.true_accuracy) < 0.1
+
+    def test_summary_mentions_key_quantities(self, nell):
+        design = SimpleRandomDesign(nell.graph, seed=0)
+        annotator = SimulatedAnnotator(nell.oracle, seed=0)
+        report = evaluate_accuracy(design, annotator)
+        summary = report.summary()
+        assert "accuracy=" in summary
+        assert "cost=" in summary
+
+    def test_estimation_quality_across_designs(self, nell):
+        """All designs land within a few points of the true accuracy on average."""
+        designs = {
+            "srs": lambda seed: SimpleRandomDesign(nell.graph, seed=seed),
+            "wcs": lambda seed: WeightedClusterDesign(nell.graph, seed=seed),
+            "twcs": lambda seed: TwoStageWeightedClusterDesign(nell.graph, 5, seed=seed),
+        }
+        for factory in designs.values():
+            errors = []
+            for seed in range(10):
+                annotator = SimulatedAnnotator(nell.oracle, seed=seed)
+                report = evaluate_accuracy(factory(seed), annotator)
+                errors.append(abs(report.accuracy - nell.true_accuracy))
+            assert sum(errors) / len(errors) < 0.06
+
+    def test_moe_threshold_controls_sample_size(self, movie_small):
+        loose_units, tight_units = [], []
+        for seed in range(3):
+            annotator = SimulatedAnnotator(movie_small.oracle, seed=seed)
+            loose = evaluate_accuracy(
+                TwoStageWeightedClusterDesign(movie_small.graph, 5, seed=seed),
+                annotator,
+                moe_target=0.10,
+            )
+            annotator = SimulatedAnnotator(movie_small.oracle, seed=seed)
+            tight = evaluate_accuracy(
+                TwoStageWeightedClusterDesign(movie_small.graph, 5, seed=seed),
+                annotator,
+                moe_target=0.03,
+            )
+            loose_units.append(loose.num_units)
+            tight_units.append(tight.num_units)
+        assert sum(tight_units) > sum(loose_units)
+
+    def test_report_margin_of_error_infinite_when_no_samples(self):
+        from repro.core.result import EvaluationReport
+        from repro.sampling.base import Estimate
+
+        report = EvaluationReport(
+            estimate=Estimate(0.0, math.inf, 0, 0),
+            confidence_level=0.95,
+            moe_target=0.05,
+            satisfied=False,
+            iterations=0,
+            num_units=0,
+            num_triples_annotated=0,
+            num_entities_identified=0,
+            annotation_cost_seconds=0.0,
+        )
+        assert math.isinf(report.margin_of_error)
+        assert not report.satisfied

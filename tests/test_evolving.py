@@ -1,0 +1,220 @@
+"""Unit tests for evolving-KG evaluation: baseline, reservoir (Alg. 1), stratified (Alg. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EvaluationConfig
+from repro.evolving.baseline import BaselineEvolvingEvaluator
+from repro.evolving.monitor import EvolvingAccuracyMonitor
+from repro.evolving.reservoir_eval import ReservoirIncrementalEvaluator
+from repro.evolving.stratified_eval import StratifiedIncrementalEvaluator
+from repro.generators.datasets import LabelledKG, make_movie_like
+from repro.generators.workload import UpdateWorkloadGenerator
+from repro.labels.random_error import RandomErrorModel
+
+ALL_EVALUATORS = [
+    BaselineEvolvingEvaluator,
+    ReservoirIncrementalEvaluator,
+    StratifiedIncrementalEvaluator,
+]
+
+
+@pytest.fixture(scope="module")
+def evolving_base() -> LabelledKG:
+    """A small MOVIE-like base KG with REM labels at 90 % accuracy."""
+    movie = make_movie_like(seed=4, scale=0.004)
+    rng = np.random.default_rng(4)
+    graph = movie.graph.random_triple_subset(0.6, rng, name="base")
+    oracle = RandomErrorModel.with_accuracy(0.9, seed=4).generate(graph)
+    return LabelledKG(graph, oracle)
+
+
+def make_update(base: LabelledKG, size: int, accuracy: float, seed: int):
+    generator = UpdateWorkloadGenerator(base, seed=seed)
+    return generator.generate_batch(size, accuracy)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("evaluator_cls", ALL_EVALUATORS)
+    def test_base_evaluation_meets_quality(self, evolving_base, evaluator_cls):
+        evaluator = evaluator_cls(evolving_base, seed=0)
+        evaluation = evaluator.evaluate_base()
+        assert evaluation.batch_id == "base"
+        assert evaluation.report.satisfied
+        assert evaluation.report.margin_of_error <= 0.05
+        assert abs(evaluation.accuracy - evolving_base.true_accuracy) < 0.12
+        assert evaluation.cumulative_cost_seconds > 0
+
+    @pytest.mark.parametrize("evaluator_cls", ALL_EVALUATORS)
+    def test_update_keeps_quality_and_tracks_truth(self, evolving_base, evaluator_cls):
+        evaluator = evaluator_cls(evolving_base, seed=1)
+        evaluator.evaluate_base()
+        batch, batch_oracle = make_update(
+            evolving_base, size=evolving_base.graph.num_triples // 3, accuracy=0.5, seed=1
+        )
+        evaluation = evaluator.apply_update(batch, batch_oracle)
+        truth = evaluator.oracle.true_accuracy(evaluator.evolving.current)
+        assert evaluation.report.margin_of_error <= 0.06
+        assert abs(evaluation.accuracy - truth) < 0.12
+        assert evaluation.cumulative_cost_seconds >= evaluator.history[0].cumulative_cost_seconds
+
+    @pytest.mark.parametrize(
+        "evaluator_cls", [ReservoirIncrementalEvaluator, StratifiedIncrementalEvaluator]
+    )
+    def test_update_before_base_raises(self, evolving_base, evaluator_cls):
+        evaluator = evaluator_cls(evolving_base, seed=0)
+        batch, batch_oracle = make_update(evolving_base, 100, 0.9, seed=0)
+        with pytest.raises(RuntimeError):
+            evaluator.apply_update(batch, batch_oracle)
+
+    @pytest.mark.parametrize("evaluator_cls", ALL_EVALUATORS)
+    def test_history_accumulates(self, evolving_base, evaluator_cls):
+        evaluator = evaluator_cls(evolving_base, seed=2)
+        evaluator.evaluate_base()
+        for index in range(2):
+            batch, batch_oracle = make_update(evolving_base, 200, 0.8, seed=10 + index)
+            evaluator.apply_update(batch, batch_oracle)
+        assert len(evaluator.history) == 3
+        assert evaluator.latest.batch_id == evaluator.history[-1].batch_id
+        costs = [h.cumulative_cost_seconds for h in evaluator.history]
+        assert costs == sorted(costs)
+        assert evaluator.total_cost_hours == pytest.approx(costs[-1] / 3600)
+
+
+class TestIncrementalCostAdvantage:
+    def test_incremental_methods_cheaper_than_baseline(self, evolving_base):
+        """The central claim of Section 6: RS and SS beat re-evaluation from scratch."""
+        update_size = evolving_base.graph.num_triples // 3
+        costs = {}
+        for evaluator_cls in ALL_EVALUATORS:
+            per_trial = []
+            for seed in range(3):
+                evaluator = evaluator_cls(evolving_base, seed=seed)
+                evaluator.evaluate_base()
+                batch, batch_oracle = make_update(evolving_base, update_size, 0.9, seed=seed)
+                evaluation = evaluator.apply_update(batch, batch_oracle)
+                per_trial.append(evaluation.incremental_cost_hours)
+            costs[evaluator_cls.__name__] = float(np.mean(per_trial))
+        assert costs["ReservoirIncrementalEvaluator"] < costs["BaselineEvolvingEvaluator"]
+        assert costs["StratifiedIncrementalEvaluator"] < costs["BaselineEvolvingEvaluator"]
+
+    def test_stratified_reuses_all_base_annotations(self, evolving_base):
+        evaluator = StratifiedIncrementalEvaluator(evolving_base, seed=5)
+        evaluator.evaluate_base()
+        triples_after_base = evaluator.annotator.total_triples_annotated
+        batch, batch_oracle = make_update(evolving_base, 300, 0.9, seed=5)
+        evaluator.apply_update(batch, batch_oracle)
+        labelled_before = set(evaluator.annotator.labelled_triples) - set(batch.triples)
+        new_triples = evaluator.annotator.total_triples_annotated - triples_after_base
+        # Only triples of the new stratum are annotated after the update.
+        newly_labelled = set(evaluator.annotator.labelled_triples) - labelled_before
+        assert newly_labelled <= set(batch.triples)
+        assert 0 < new_triples <= batch.size
+
+
+class TestReservoirEvaluator:
+    def test_reservoir_size_matches_units(self, evolving_base):
+        evaluator = ReservoirIncrementalEvaluator(evolving_base, seed=0)
+        evaluation = evaluator.evaluate_base()
+        assert evaluator.reservoir_size == evaluation.report.num_units
+
+    def test_replacements_bounded_by_insertions(self, evolving_base):
+        evaluator = ReservoirIncrementalEvaluator(evolving_base, seed=1)
+        evaluator.evaluate_base()
+        batch, batch_oracle = make_update(evolving_base, 400, 0.9, seed=1)
+        evaluator.apply_update(batch, batch_oracle)
+        num_inserted_clusters = len(batch.entity_insertions())
+        assert 0 <= evaluator.total_replacements <= num_inserted_clusters
+
+    def test_larger_updates_cause_more_replacements(self, evolving_base):
+        small_totals, large_totals = [], []
+        for seed in range(3):
+            small = ReservoirIncrementalEvaluator(evolving_base, seed=seed)
+            small.evaluate_base()
+            batch, oracle = make_update(evolving_base, 100, 0.9, seed=seed)
+            small.apply_update(batch, oracle)
+            small_totals.append(small.total_replacements)
+
+            large = ReservoirIncrementalEvaluator(evolving_base, seed=seed)
+            large.evaluate_base()
+            batch, oracle = make_update(evolving_base, 1500, 0.9, seed=seed)
+            large.apply_update(batch, oracle)
+            large_totals.append(large.total_replacements)
+        assert sum(large_totals) > sum(small_totals)
+
+    def test_second_stage_cap_respected_in_reservoir(self, evolving_base):
+        evaluator = ReservoirIncrementalEvaluator(evolving_base, second_stage_size=3, seed=2)
+        evaluator.evaluate_base()
+        assert all(len(entry.triples) <= 3 for _, _, entry in evaluator._reservoir)
+
+
+class TestStratifiedEvaluator:
+    def test_one_stratum_per_batch(self, evolving_base):
+        evaluator = StratifiedIncrementalEvaluator(evolving_base, seed=3)
+        evaluator.evaluate_base()
+        for index in range(3):
+            batch, batch_oracle = make_update(evolving_base, 150, 0.8, seed=20 + index)
+            evaluator.apply_update(batch, batch_oracle)
+        assert evaluator.num_strata == 4
+        stratum_ids = [stratum_id for stratum_id, _ in evaluator.stratum_estimates()]
+        assert stratum_ids[0] == "base"
+
+    def test_min_units_per_stratum_enforced(self, evolving_base):
+        evaluator = StratifiedIncrementalEvaluator(
+            evolving_base, min_units_per_stratum=8, seed=4
+        )
+        evaluator.evaluate_base()
+        batch, batch_oracle = make_update(evolving_base, 400, 0.9, seed=4)
+        evaluator.apply_update(batch, batch_oracle)
+        _, new_stratum_estimate = evaluator.stratum_estimates()[-1]
+        assert new_stratum_estimate.num_units >= 8
+
+    def test_invalid_min_units(self, evolving_base):
+        with pytest.raises(ValueError):
+            StratifiedIncrementalEvaluator(evolving_base, min_units_per_stratum=1)
+
+    def test_combined_estimate_reflects_bad_update(self, evolving_base):
+        """A very inaccurate, large update must pull the combined estimate down."""
+        evaluator = StratifiedIncrementalEvaluator(evolving_base, seed=6)
+        base_estimate = evaluator.evaluate_base().accuracy
+        batch, batch_oracle = make_update(
+            evolving_base, evolving_base.graph.num_triples, 0.1, seed=6
+        )
+        updated = evaluator.apply_update(batch, batch_oracle)
+        assert updated.accuracy < base_estimate - 0.2
+
+
+class TestMonitor:
+    def test_run_produces_one_record_per_state(self, evolving_base):
+        evaluator = StratifiedIncrementalEvaluator(evolving_base, seed=7)
+        monitor = EvolvingAccuracyMonitor(evaluator)
+        generator = UpdateWorkloadGenerator(evolving_base, seed=7)
+        records = monitor.run(generator.generate_sequence(3, 150, 0.9))
+        assert len(records) == 4
+        assert records[0].batch_id == "base"
+        assert [r.batch_index for r in records] == [0, 1, 2, 3]
+        assert monitor.total_cost_hours == pytest.approx(
+            records[-1].cumulative_cost_hours, rel=1e-6
+        )
+
+    def test_apply_update_lazily_evaluates_base(self, evolving_base):
+        evaluator = ReservoirIncrementalEvaluator(evolving_base, seed=8)
+        monitor = EvolvingAccuracyMonitor(evaluator)
+        batch, batch_oracle = make_update(evolving_base, 100, 0.9, seed=8)
+        record = monitor.apply_update(batch, batch_oracle)
+        assert len(monitor.records) == 2
+        assert record.batch_index == 1
+
+    def test_records_track_truth_reasonably(self, evolving_base):
+        evaluator = StratifiedIncrementalEvaluator(evolving_base, seed=9)
+        monitor = EvolvingAccuracyMonitor(evaluator)
+        generator = UpdateWorkloadGenerator(evolving_base, seed=9)
+        records = monitor.run(generator.generate_sequence(3, 400, 0.5))
+        final = records[-1]
+        assert final.estimation_error < 0.12
+        # The low-accuracy updates must drag the true accuracy down and the
+        # estimate must follow.
+        assert final.true_accuracy < records[0].true_accuracy
+        assert final.estimated_accuracy < records[0].estimated_accuracy + 0.05

@@ -1,0 +1,216 @@
+"""Tests for the experiment harness: trial aggregation, reporting and per-figure functions.
+
+The per-table/figure functions are exercised at deliberately tiny scales and
+trial counts — these tests check the *shape* of the returned data (one row per
+configuration, expected columns present, values in sensible ranges), not the
+paper's numbers; the benchmark suite regenerates the actual tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.evolving_experiments import figure8_single_update, figure9_update_sequence
+from repro.experiments.harness import TrialStatistics, aggregate, run_trials
+from repro.experiments.report import format_table, format_value
+from repro.experiments.static_experiments import (
+    figure1_cost_curves,
+    figure3_accuracy_vs_size,
+    figure4_cost_fit,
+    figure5_confidence_sweep,
+    figure6_optimal_m,
+    figure7_scalability,
+    table4_movie_cost,
+    table5_static_comparison,
+    table6_kgeval_comparison,
+    table7_stratification,
+)
+
+
+class TestHarness:
+    def test_aggregate_statistics(self):
+        stats = aggregate([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.num_trials == 3
+        assert stats.std == pytest.approx(1.0)
+
+    def test_aggregate_single_value(self):
+        stats = aggregate([5.0])
+        assert stats.std == 0.0
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_run_trials_aggregates_per_metric(self):
+        def trial(seed: int) -> dict[str, float]:
+            return {"value": float(seed), "constant": 1.0}
+
+        stats = run_trials(trial, num_trials=4, base_seed=10)
+        assert set(stats) == {"value", "constant"}
+        assert stats["value"].mean == pytest.approx(11.5)
+        assert stats["constant"].std == 0.0
+        assert isinstance(stats["value"], TrialStatistics)
+
+    def test_run_trials_validation(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda seed: {"x": 1.0}, num_trials=0)
+
+    def test_run_trials_rejects_inconsistent_metrics(self):
+        def trial(seed: int) -> dict[str, float]:
+            return {"a": 1.0} if seed % 2 == 0 else {"b": 1.0}
+
+        with pytest.raises(ValueError):
+            run_trials(trial, num_trials=2)
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.12345) == "0.123"
+        assert format_value("text") == "text"
+
+    def test_format_table_alignment_and_columns(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 2.5, "b": "longer"}]
+        table = format_table(rows, title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_missing_keys_and_empty(self):
+        assert format_table([], title="empty") == "empty"
+        table = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "a" in table
+
+
+class TestStaticExperimentShapes:
+    def test_table3_characteristics(self):
+        from repro.experiments import table3_dataset_characteristics
+
+        rows = table3_dataset_characteristics(seed=0, movie_scale=0.005)
+        assert {row["dataset"] for row in rows} == {"NELL-like", "YAGO-like", "MOVIE-like"}
+        for row in rows:
+            assert row["num_entities"] > 0
+            assert row["num_triples"] >= row["num_entities"]
+            assert 0.0 <= row["gold_accuracy"] <= 1.0
+            assert abs(row["gold_accuracy"] - row["paper_accuracy"]) < 0.05
+
+    def test_figure1_curves(self):
+        result = figure1_cost_curves(seed=0, num_triples=20, movie_scale=0.005)
+        assert len(result.triple_level_seconds) == 20
+        assert len(result.entity_level_seconds) == 20
+        # Entity-level tasks are cheaper in total.
+        assert result.entity_level_seconds[-1] < result.triple_level_seconds[-1]
+        assert result.entity_level_num_entities < 20
+        assert result.triple_level_total_hours > result.entity_level_total_hours
+
+    def test_figure3_correlations_positive(self):
+        result = figure3_accuracy_vs_size(seed=0)
+        assert set(result) == {"NELL", "YAGO"}
+        assert result["NELL"]["correlation"] > 0.0
+        assert len(result["NELL"]["points"]) == 817
+
+    def test_figure4_fit_recovers_parameters(self):
+        result = figure4_cost_fit(seed=0, num_tasks=10, movie_scale=0.005)
+        assert result.fit.identification_cost == pytest.approx(45.0, rel=0.4)
+        assert result.fit.validation_cost == pytest.approx(25.0, rel=0.4)
+        assert result.fit.r_squared > 0.8
+        assert len(result.predicted_seconds) == len(result.observations)
+
+    def test_table4_rows(self):
+        rows = table4_movie_cost(num_trials=2, seed=0, movie_scale=0.005)
+        assert len(rows) == 2
+        assert rows[0]["method"] == "SRS"
+        assert "annotation_hours" in rows[0]
+        assert all(row["accuracy_estimate"] <= 1.0 for row in rows)
+
+    def test_table5_rows_and_twcs_wins_on_movie(self):
+        rows = table5_static_comparison(
+            num_trials=3, seed=0, movie_scale=0.005, datasets=("MOVIE",), methods=("SRS", "TWCS")
+        )
+        assert len(rows) == 2
+        by_method = {row["method"]: row for row in rows}
+        assert by_method["TWCS"]["annotation_hours"] < by_method["SRS"]["annotation_hours"]
+
+    def test_table6_rows(self):
+        rows = table6_kgeval_comparison(num_trials=1, seed=0, datasets=("NELL",))
+        assert len(rows) == 2
+        by_method = {row["method"]: row for row in rows}
+        assert by_method["KGEval"]["machine_time_seconds"] > by_method["TWCS"]["machine_time_seconds"]
+        assert by_method["TWCS"]["moe"] <= 0.05 + 1e-9
+
+    def test_figure5_rows_and_reduction_ratio(self):
+        rows = figure5_confidence_sweep(
+            num_trials=2,
+            seed=0,
+            movie_scale=0.005,
+            datasets=("NELL",),
+            confidence_levels=(0.9, 0.95),
+        )
+        assert len(rows) == 4
+        twcs_rows = [row for row in rows if row["method"] == "TWCS"]
+        assert all(-1.0 < row["cost_reduction_vs_srs"] < 1.0 for row in twcs_rows)
+
+    def test_figure6_rows_include_theory_and_optimum(self):
+        rows = figure6_optimal_m(
+            num_trials=2, seed=0, movie_scale=0.004, m_values=(1, 5), datasets=("NELL",)
+        )
+        simulated = [row for row in rows if "annotation_hours" in row]
+        assert len(simulated) == 2
+        optimum = [row for row in rows if row.get("optimal")]
+        assert len(optimum) == 1
+        assert 1 <= optimum[0]["m"] <= 30
+        assert all(row["theoretical_cost_upper_hours"] > 0 for row in simulated)
+
+    def test_table7_rows(self):
+        rows = table7_stratification(
+            num_trials=2, seed=0, movie_scale=0.005, datasets=("NELL",)
+        )
+        methods = [row["method"] for row in rows]
+        assert methods == ["SRS", "TWCS", "TWCS+SIZE", "TWCS+ORACLE"]
+        assert all(0.0 <= row["accuracy_estimate"] <= 1.0 for row in rows)
+
+    def test_figure7_shapes(self):
+        result = figure7_scalability(
+            num_trials=1,
+            seed=0,
+            triple_counts=(5_000, 10_000),
+            accuracies=(0.5, 0.9),
+            accuracy_sweep_triples=5_000,
+        )
+        assert len(result["varying_size"]) == 2
+        assert len(result["varying_accuracy"]) == 2
+        by_accuracy = {row["accuracy"]: row for row in result["varying_accuracy"]}
+        # Cost peaks at 50% accuracy.
+        assert (
+            by_accuracy[0.5]["annotation_hours"] > by_accuracy[0.9]["annotation_hours"]
+        )
+
+
+class TestEvolvingExperimentShapes:
+    def test_figure8_rows(self):
+        result = figure8_single_update(
+            num_trials=1,
+            seed=0,
+            movie_scale=0.004,
+            update_size_fractions=(0.2,),
+            update_accuracies=(0.5,),
+            methods=("Baseline", "SS"),
+        )
+        assert len(result["varying_size"]) == 2
+        assert len(result["varying_accuracy"]) == 2
+        by_method = {row["method"]: row for row in result["varying_size"]}
+        assert by_method["SS"]["update_cost_hours"] < by_method["Baseline"]["update_cost_hours"]
+
+    def test_figure9_structure(self):
+        result = figure9_update_sequence(
+            num_trials=2, seed=0, movie_scale=0.003, num_batches=3, methods=("RS", "SS")
+        )
+        assert set(result["mean"]) == {"RS", "SS"}
+        mean_rs = result["mean"]["RS"]
+        assert len(mean_rs["batch_index"]) == 4
+        assert len(mean_rs["estimated_accuracy_mean"]) == 4
+        over = result["overestimation_run"]["SS"]
+        assert over.final_error >= 0.0
+        assert over.mean_error >= 0.0

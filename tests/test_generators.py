@@ -1,0 +1,192 @@
+"""Unit tests for synthetic KG generation, dataset stand-ins and update workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generators.datasets import (
+    generate_calibrated_labels,
+    make_movie_full_like,
+    make_movie_like,
+    make_movie_syn,
+    make_nell_like,
+    make_yago_like,
+)
+from repro.generators.synthetic_kg import SyntheticKGConfig, generate_kg, sample_cluster_sizes
+from repro.generators.workload import UpdateWorkloadGenerator
+from repro.kg.statistics import size_accuracy_correlation
+
+
+class TestSyntheticKGConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_entities": 0},
+            {"num_entities": 10, "mean_cluster_size": 0.5},
+            {"num_entities": 10, "size_skew": -1.0},
+            {"num_entities": 10, "max_cluster_size": 0},
+            {"num_entities": 10, "entity_object_fraction": 1.5},
+        ],
+    )
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticKGConfig(**kwargs)
+
+
+class TestClusterSizeSampling:
+    def test_sizes_within_bounds(self, rng):
+        sizes = sample_cluster_sizes(1000, 5.0, 1.0, 50, rng)
+        assert sizes.min() >= 1
+        assert sizes.max() <= 50
+        assert sizes.shape == (1000,)
+
+    def test_mean_close_to_target(self, rng):
+        sizes = sample_cluster_sizes(5000, 9.0, 1.0, 500, rng)
+        assert sizes.mean() == pytest.approx(9.0, rel=0.15)
+
+    def test_no_skew_gives_constant_sizes(self, rng):
+        sizes = sample_cluster_sizes(100, 3.0, 0.0, 50, rng)
+        assert set(sizes.tolist()) == {3}
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_cluster_sizes(0, 3.0, 1.0, 50, rng)
+        with pytest.raises(ValueError):
+            sample_cluster_sizes(10, 0.5, 1.0, 50, rng)
+
+
+class TestGenerateKG:
+    def test_entity_count_matches_config(self):
+        config = SyntheticKGConfig(num_entities=200, mean_cluster_size=3.0, name="test")
+        graph = generate_kg(config, seed=0)
+        assert graph.num_entities == 200
+        assert graph.name == "test"
+        assert graph.num_triples >= 200
+
+    def test_deterministic_under_seed(self):
+        config = SyntheticKGConfig(num_entities=50, mean_cluster_size=2.0)
+        first = generate_kg(config, seed=3)
+        second = generate_kg(config, seed=3)
+        assert list(first) == list(second)
+
+    def test_entity_object_fraction_zero_and_one(self):
+        all_data = generate_kg(
+            SyntheticKGConfig(num_entities=50, entity_object_fraction=0.0), seed=0
+        )
+        assert all(not t.is_entity_object for t in all_data)
+        all_entity = generate_kg(
+            SyntheticKGConfig(num_entities=50, entity_object_fraction=1.0), seed=0
+        )
+        assert all(t.is_entity_object for t in all_entity)
+
+
+class TestCalibratedLabels:
+    def test_overall_accuracy_close_to_target(self, movie_small):
+        oracle = generate_calibrated_labels(movie_small.graph, 0.8, seed=0)
+        assert oracle.true_accuracy(movie_small.graph) == pytest.approx(0.8, abs=0.03)
+
+    def test_labels_cover_all_triples(self, movie_small):
+        oracle = generate_calibrated_labels(movie_small.graph, 0.7, seed=1)
+        assert len(oracle) == movie_small.graph.num_triples
+
+    def test_size_correlation_present_when_requested(self, movie_small):
+        oracle = generate_calibrated_labels(
+            movie_small.graph, 0.75, size_correlation=0.4, noise_sigma=0.02, seed=2
+        )
+        assert size_accuracy_correlation(movie_small.graph, oracle.as_dict()) > 0.1
+
+    def test_invalid_target(self, movie_small):
+        with pytest.raises(ValueError):
+            generate_calibrated_labels(movie_small.graph, 1.2)
+
+
+class TestDatasetStandIns:
+    def test_nell_characteristics(self):
+        data = make_nell_like(seed=0)
+        assert data.graph.num_entities == 817
+        assert 1_300 <= data.graph.num_triples <= 2_400
+        assert data.true_accuracy == pytest.approx(0.91, abs=0.03)
+
+    def test_yago_characteristics(self):
+        data = make_yago_like(seed=0)
+        assert data.graph.num_entities == 822
+        assert 1_000 <= data.graph.num_triples <= 1_900
+        assert data.true_accuracy == pytest.approx(0.99, abs=0.015)
+
+    def test_movie_characteristics(self):
+        data = make_movie_like(seed=0, scale=0.01)
+        assert data.graph.num_entities == pytest.approx(2888, abs=2)
+        assert data.graph.average_cluster_size == pytest.approx(9.2, rel=0.2)
+        assert data.true_accuracy == pytest.approx(0.90, abs=0.03)
+
+    def test_movie_scale_controls_size(self):
+        small = make_movie_like(seed=0, scale=0.005)
+        large = make_movie_like(seed=0, scale=0.01)
+        assert large.graph.num_entities > small.graph.num_entities
+        with pytest.raises(ValueError):
+            make_movie_like(scale=0.0)
+
+    def test_movie_syn_uses_bmm_labels(self):
+        data = make_movie_syn(c=0.01, sigma=0.1, seed=0, scale=0.005)
+        assert 0.4 <= data.true_accuracy <= 0.8
+        strong = make_movie_syn(c=0.5, sigma=0.05, seed=0, scale=0.005)
+        assert strong.true_accuracy > data.true_accuracy
+
+    def test_movie_full_like_size_and_accuracy(self):
+        data = make_movie_full_like(num_triples=20_000, accuracy=0.7, seed=0)
+        assert data.graph.num_triples == pytest.approx(20_000, rel=0.2)
+        assert data.true_accuracy == pytest.approx(0.7, abs=0.02)
+        with pytest.raises(ValueError):
+            make_movie_full_like(num_triples=0)
+
+    def test_datasets_reproducible_under_seed(self):
+        assert make_nell_like(seed=7).true_accuracy == make_nell_like(seed=7).true_accuracy
+
+
+class TestUpdateWorkloadGenerator:
+    def test_batch_size_and_labels(self, movie_small):
+        generator = UpdateWorkloadGenerator(movie_small, seed=0)
+        batch, oracle = generator.generate_batch(500, accuracy=0.8)
+        assert batch.size == pytest.approx(500, abs=5)
+        assert all(t in oracle for t in batch)
+        realised = sum(oracle.label(t) for t in batch) / batch.size
+        assert realised == pytest.approx(0.8, abs=0.06)
+
+    def test_new_entity_fraction_respected(self, movie_small):
+        generator = UpdateWorkloadGenerator(movie_small, new_entity_fraction=1.0, seed=1)
+        batch, _ = generator.generate_batch(300, accuracy=0.9)
+        existing = set(movie_small.graph.entity_ids)
+        assert all(t.subject not in existing for t in batch)
+
+        generator = UpdateWorkloadGenerator(movie_small, new_entity_fraction=0.0, seed=1)
+        batch, _ = generator.generate_batch(300, accuracy=0.9)
+        assert all(t.subject in existing for t in batch)
+
+    def test_batch_ids_unique_and_sequential(self, movie_small):
+        generator = UpdateWorkloadGenerator(movie_small, seed=2)
+        ids = [generator.generate_batch(50, 0.9)[0].batch_id for _ in range(3)]
+        assert len(set(ids)) == 3
+
+    def test_generate_sequence(self, movie_small):
+        generator = UpdateWorkloadGenerator(movie_small, seed=3)
+        batches = list(generator.generate_sequence(4, 100, 0.7))
+        assert len(batches) == 4
+        assert all(batch.size == pytest.approx(100, abs=3) for batch, _ in batches)
+
+    def test_validation(self, movie_small):
+        generator = UpdateWorkloadGenerator(movie_small, seed=0)
+        with pytest.raises(ValueError):
+            generator.generate_batch(0, 0.9)
+        with pytest.raises(ValueError):
+            generator.generate_batch(10, 1.5)
+        with pytest.raises(ValueError):
+            UpdateWorkloadGenerator(movie_small, new_entity_fraction=1.5)
+
+    def test_split_base_keeps_labels_valid(self, movie_small):
+        base = UpdateWorkloadGenerator.split_base(movie_small, 0.5, seed=0)
+        assert base.graph.num_triples == pytest.approx(
+            0.5 * movie_small.graph.num_triples, rel=0.05
+        )
+        # Every triple of the base subset is still covered by the oracle.
+        assert all(t in base.oracle for t in base.graph)

@@ -1,0 +1,193 @@
+"""Tests for per-predicate granular evaluation and the multi-annotator task pool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EvaluationConfig
+from repro.core.framework import StaticEvaluator
+from repro.core.granular import GranularEvaluator, evaluate_by_predicate
+from repro.cost.annotator import SimulatedAnnotator
+from repro.cost.pool import AnnotationTaskPool, NoisyAnnotator
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+from repro.labels.oracle import LabelOracle
+from repro.sampling.twcs import TwoStageWeightedClusterDesign
+
+
+def build_predicate_kg() -> tuple[KnowledgeGraph, LabelOracle, dict[str, float]]:
+    """A KG with two predicates of very different (known) accuracy."""
+    rng = np.random.default_rng(0)
+    graph = KnowledgeGraph(name="predicate-kg")
+    labels: dict[Triple, bool] = {}
+    accuracy_by_predicate = {"goodPredicate": 0.95, "badPredicate": 0.40}
+    for entity_index in range(400):
+        subject = f"e{entity_index}"
+        for predicate, accuracy in accuracy_by_predicate.items():
+            for fact_index in range(int(rng.integers(1, 4))):
+                triple = Triple(subject, predicate, f"o_{predicate}_{entity_index}_{fact_index}")
+                graph.add(triple)
+                labels[triple] = bool(rng.random() < accuracy)
+    return graph, LabelOracle(labels), accuracy_by_predicate
+
+
+class TestGranularEvaluator:
+    def test_per_predicate_estimates_separate_good_from_bad(self):
+        graph, oracle, targets = build_predicate_kg()
+        annotator = SimulatedAnnotator(oracle, seed=0)
+        reports = evaluate_by_predicate(graph, annotator, moe_target=0.06, seed=0)
+        assert set(reports) == set(targets)
+        assert reports["goodPredicate"].accuracy > reports["badPredicate"].accuracy + 0.3
+        for predicate, target in targets.items():
+            assert reports[predicate].accuracy == pytest.approx(target, abs=0.12)
+
+    def test_group_sizes_partition_the_graph(self):
+        graph, oracle, _ = build_predicate_kg()
+        annotator = SimulatedAnnotator(oracle, seed=1)
+        reports = evaluate_by_predicate(graph, annotator, moe_target=0.08, seed=1)
+        assert sum(r.num_triples_in_group for r in reports.values()) == graph.num_triples
+
+    def test_small_groups_are_evaluated_exhaustively(self, toy_kg):
+        graph, oracle = toy_kg
+        annotator = SimulatedAnnotator(oracle, seed=0)
+        evaluator = GranularEvaluator(graph, annotator, EvaluationConfig(moe_target=0.05))
+        reports = evaluator.evaluate(lambda triple: triple.predicate)
+        # Every toy predicate group is tiny, so all must be exhaustive and exact.
+        assert all(report.exhaustive for report in reports.values())
+        for label, report in reports.items():
+            group_triples = [t for t in graph if t.predicate == label]
+            exact = sum(oracle.label(t) for t in group_triples) / len(group_triples)
+            assert report.accuracy == pytest.approx(exact)
+            assert report.margin_of_error == 0.0
+
+    def test_shared_session_saves_entity_identifications(self):
+        graph, oracle, _ = build_predicate_kg()
+        shared = SimulatedAnnotator(oracle, seed=2)
+        GranularEvaluator(graph, shared, EvaluationConfig(moe_target=0.08), seed=2).evaluate(
+            lambda t: t.predicate
+        )
+        # With a shared session the number of identified entities cannot exceed
+        # the number of distinct subjects in the graph.
+        assert shared.entities_identified <= graph.num_entities
+
+    def test_combined_estimate_matches_overall_accuracy(self):
+        graph, oracle, _ = build_predicate_kg()
+        annotator = SimulatedAnnotator(oracle, seed=3)
+        evaluator = GranularEvaluator(graph, annotator, EvaluationConfig(moe_target=0.06), seed=3)
+        reports = evaluator.evaluate(lambda t: t.predicate)
+        combined = GranularEvaluator.combine(reports)
+        assert combined.value == pytest.approx(oracle.true_accuracy(graph), abs=0.08)
+        assert combined.std_error >= 0.0
+
+    def test_combine_empty(self):
+        estimate = GranularEvaluator.combine({})
+        assert estimate.num_units == 0
+
+
+class TestNoisyAnnotator:
+    def test_error_rate_validation(self, toy_oracle):
+        with pytest.raises(ValueError):
+            NoisyAnnotator(toy_oracle, label_error_rate=1.5)
+
+    def test_zero_error_rate_matches_oracle(self, toy_kg):
+        graph, oracle = toy_kg
+        annotator = NoisyAnnotator(oracle, label_error_rate=0.0, seed=0)
+        result = annotator.annotate_triples(list(graph))
+        assert all(result.labels[t] == oracle.label(t) for t in graph)
+
+    def test_error_rate_produces_flips(self, nell):
+        annotator = NoisyAnnotator(nell.oracle, label_error_rate=0.3, seed=0)
+        triples = list(nell.graph)[:500]
+        result = annotator.annotate_triples(triples)
+        flips = sum(result.labels[t] != nell.oracle.label(t) for t in triples)
+        assert flips / len(triples) == pytest.approx(0.3, abs=0.08)
+
+    def test_relabelling_is_consistent_within_session(self, toy_kg):
+        graph, oracle = toy_kg
+        annotator = NoisyAnnotator(oracle, label_error_rate=0.5, seed=0)
+        first = annotator.annotate_triples(list(graph)).labels
+        second = annotator.annotate_triples(list(graph)).labels
+        assert first == second
+
+    def test_cost_unaffected_by_label_noise(self, toy_kg):
+        graph, oracle = toy_kg
+        noisy = NoisyAnnotator(oracle, label_error_rate=0.4, seed=0)
+        clean = SimulatedAnnotator(oracle, seed=0)
+        noisy.annotate_triples(list(graph))
+        clean.annotate_triples(list(graph))
+        assert noisy.total_cost_seconds == pytest.approx(clean.total_cost_seconds)
+
+
+class TestAnnotationTaskPool:
+    def test_validation(self, toy_oracle):
+        with pytest.raises(ValueError):
+            AnnotationTaskPool([])
+        annotator = SimulatedAnnotator(toy_oracle)
+        with pytest.raises(ValueError):
+            AnnotationTaskPool([annotator], annotations_per_task=2)
+
+    def test_build_tasks_groups_by_subject(self, toy_graph):
+        tasks = AnnotationTaskPool.build_tasks(list(toy_graph))
+        assert {task.entity_id for task in tasks} == set(toy_graph.entity_ids)
+        assert sum(task.size for task in tasks) == toy_graph.num_triples
+
+    def test_single_annotator_pool_matches_direct_annotation(self, toy_kg):
+        graph, oracle = toy_kg
+        direct = SimulatedAnnotator(oracle, seed=0)
+        direct_result = direct.annotate_triples(list(graph))
+        pool = AnnotationTaskPool([SimulatedAnnotator(oracle, seed=0)])
+        pool_result = pool.annotate_triples(list(graph))
+        assert pool_result.labels == direct_result.labels
+        assert pool_result.cost_seconds == pytest.approx(direct_result.cost_seconds)
+
+    def test_majority_vote_corrects_noisy_annotators(self, nell):
+        """Three annotators with 20% error and majority vote recover most labels."""
+        crew = [NoisyAnnotator(nell.oracle, label_error_rate=0.2, seed=i) for i in range(3)]
+        pool = AnnotationTaskPool(crew, annotations_per_task=3)
+        triples = list(nell.graph)[:300]
+        voted = pool.annotate_triples(triples).labels
+        voted_errors = sum(voted[t] != nell.oracle.label(t) for t in triples) / len(triples)
+        single = NoisyAnnotator(nell.oracle, label_error_rate=0.2, seed=99)
+        single_labels = single.annotate_triples(triples).labels
+        single_errors = sum(single_labels[t] != nell.oracle.label(t) for t in triples) / len(
+            triples
+        )
+        assert voted_errors < single_errors
+        assert voted_errors < 0.15
+
+    def test_multi_annotation_costs_more(self, toy_kg):
+        graph, oracle = toy_kg
+        single_pool = AnnotationTaskPool([SimulatedAnnotator(oracle, seed=0)])
+        single_pool.annotate_triples(list(graph))
+        triple_pool = AnnotationTaskPool(
+            [SimulatedAnnotator(oracle, seed=i) for i in range(3)], annotations_per_task=3
+        )
+        triple_pool.annotate_triples(list(graph))
+        assert triple_pool.total_cost_seconds == pytest.approx(
+            3 * single_pool.total_cost_seconds
+        )
+
+    def test_round_robin_spreads_tasks(self, nell):
+        crew = [SimulatedAnnotator(nell.oracle, seed=i) for i in range(3)]
+        pool = AnnotationTaskPool(crew, annotations_per_task=1)
+        pool.annotate_triples(list(nell.graph)[:90])
+        workloads = [annotator.total_triples_annotated for annotator in crew]
+        assert all(w > 0 for w in workloads)
+
+    def test_pool_plugs_into_static_evaluator(self, nell):
+        crew = [NoisyAnnotator(nell.oracle, label_error_rate=0.05, seed=i) for i in range(2)]
+        pool = AnnotationTaskPool(crew, annotations_per_task=1)
+        design = TwoStageWeightedClusterDesign(nell.graph, second_stage_size=5, seed=0)
+        report = StaticEvaluator(design, pool, EvaluationConfig(moe_target=0.06)).run()
+        assert report.satisfied
+        assert abs(report.accuracy - nell.true_accuracy) < 0.15
+
+    def test_reset_clears_everything(self, toy_kg):
+        graph, oracle = toy_kg
+        pool = AnnotationTaskPool([SimulatedAnnotator(oracle, seed=0)])
+        pool.annotate_triples(list(graph))
+        pool.reset()
+        assert pool.total_cost_seconds == 0.0
+        assert pool.records == []
+        assert pool.labelled_triples == {}

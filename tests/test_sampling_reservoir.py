@@ -1,0 +1,123 @@
+"""Unit tests for weighted reservoir sampling (Efraimidis–Spirakis A-Res)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.reservoir import WeightedReservoir
+
+
+class TestWeightedReservoirBasics:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            WeightedReservoir(capacity=0)
+
+    def test_fills_up_to_capacity_without_eviction(self):
+        reservoir = WeightedReservoir(capacity=3, seed=0)
+        evicted = [reservoir.offer(f"item{i}", weight=1.0) for i in range(3)]
+        assert evicted == [None, None, None]
+        assert reservoir.size == 3
+        assert reservoir.is_full
+        assert len(reservoir) == 3
+
+    def test_eviction_returns_previous_minimum(self):
+        reservoir = WeightedReservoir(capacity=2, seed=1)
+        reservoir.offer("a", weight=1.0)
+        reservoir.offer("b", weight=1.0)
+        # A huge weight gives a key close to 1, guaranteeing a replacement.
+        evicted = reservoir.offer("c", weight=1e9)
+        assert evicted is not None
+        assert evicted.item_id in {"a", "b"}
+        assert reservoir.contains("c")
+        assert reservoir.size == 2
+
+    def test_min_key_tracking(self):
+        reservoir = WeightedReservoir(capacity=4, seed=2)
+        assert reservoir.min_key == float("inf")
+        for i in range(4):
+            reservoir.offer(f"item{i}", weight=2.0)
+        keys = sorted(item.key for item in reservoir.items)
+        assert reservoir.min_key == pytest.approx(keys[0])
+
+    def test_keys_in_unit_interval(self):
+        reservoir = WeightedReservoir(capacity=50, seed=3)
+        for i in range(50):
+            reservoir.offer(f"item{i}", weight=float(i + 1))
+        assert all(0.0 < item.key <= 1.0 for item in reservoir.items)
+
+    def test_invalid_weight(self):
+        reservoir = WeightedReservoir(capacity=2, seed=0)
+        with pytest.raises(ValueError):
+            reservoir.offer("bad", weight=0.0)
+        with pytest.raises(ValueError):
+            reservoir.offer("bad", weight=-2.0)
+
+    def test_payload_round_trip(self):
+        reservoir = WeightedReservoir(capacity=1, seed=0)
+        reservoir.offer("a", weight=1.0, payload={"accuracy": 0.75})
+        assert reservoir.items[0].payload == {"accuracy": 0.75}
+
+    def test_counters(self):
+        reservoir = WeightedReservoir(capacity=2, seed=5)
+        for i in range(20):
+            reservoir.offer(f"item{i}", weight=1.0)
+        assert reservoir.num_offers == 20
+        assert 0 <= reservoir.num_replacements <= 18
+        assert reservoir.size == 2
+
+    def test_iteration_yields_items(self):
+        reservoir = WeightedReservoir(capacity=3, seed=0)
+        for i in range(3):
+            reservoir.offer(f"item{i}", weight=1.0)
+        assert {item.item_id for item in reservoir} == {"item0", "item1", "item2"}
+
+
+class TestWeightedReservoirDistribution:
+    def test_inclusion_probability_increases_with_weight(self):
+        """Items with larger weights must be retained more often (PPS behaviour)."""
+        counts = {"light": 0, "heavy": 0}
+        for seed in range(600):
+            reservoir = WeightedReservoir(capacity=5, seed=seed)
+            rng = np.random.default_rng(seed + 10_000)
+            population = [("heavy", 20.0)] + [(f"light{i}", 1.0) for i in range(30)]
+            order = rng.permutation(len(population))
+            for index in order:
+                item_id, weight = population[int(index)]
+                reservoir.offer(item_id, weight)
+            retained = {item.item_id for item in reservoir.items}
+            if "heavy" in retained:
+                counts["heavy"] += 1
+            if "light0" in retained:
+                counts["light"] += 1
+        assert counts["heavy"] > 3 * counts["light"]
+
+    def test_uniform_weights_give_uniform_inclusion(self):
+        inclusion = np.zeros(20)
+        trials = 800
+        for seed in range(trials):
+            reservoir = WeightedReservoir(capacity=5, seed=seed)
+            for i in range(20):
+                reservoir.offer(f"item{i}", weight=1.0)
+            for item in reservoir.items:
+                inclusion[int(item.item_id.removeprefix("item"))] += 1
+        probabilities = inclusion / trials
+        # Every item should be retained with probability ≈ 5/20 = 0.25.
+        assert probabilities.mean() == pytest.approx(0.25, abs=0.01)
+        assert probabilities.max() - probabilities.min() < 0.12
+
+    def test_order_of_offers_does_not_matter_on_average(self):
+        """A-Res inclusion probabilities are invariant to stream order."""
+        first_item_retained = {"forward": 0, "reverse": 0}
+        for seed in range(500):
+            for direction in ("forward", "reverse"):
+                reservoir = WeightedReservoir(capacity=3, seed=seed)
+                items = [(f"item{i}", float(i + 1)) for i in range(10)]
+                stream = items if direction == "forward" else list(reversed(items))
+                for item_id, weight in stream:
+                    reservoir.offer(item_id, weight)
+                if reservoir.contains("item9"):
+                    first_item_retained[direction] += 1
+        forward = first_item_retained["forward"] / 500
+        reverse = first_item_retained["reverse"] / 500
+        assert forward == pytest.approx(reverse, abs=0.08)
