@@ -1,0 +1,286 @@
+"""Storage backend benchmark: columnar + snapshot vs the seed in-memory graph.
+
+Demonstrates the two headline wins of the columnar storage subsystem on a
+>=1M-triple synthetic KG (MOVIE-FULL-like shape: mean cluster size ~9,
+lognormal skew 1.1):
+
+* **draw/estimate loop speed** — TWCS cluster draws through the position
+  surface (``draw_positions`` / ``update_all_positions`` on a
+  snapshot-loaded columnar graph) vs the object surface on the seed
+  in-memory graph (per-draw Triple tuples + label-dict lookups).  Target:
+  >=5x more draws per second.
+* **resident memory** — a memory-mapped snapshot directory holds the graph
+  in interned ``int32`` columns and only pages in what the sampler touches,
+  vs the object graph's Triples / key-tuples / index lists.  Target: >=3x
+  lower RSS delta.
+
+Each configuration runs in its own subprocess so RSS is measured cleanly;
+the build->snapshot->reload flow is exactly the "build big KGs once,
+memory-map thereafter" workflow the snapshot store exists for.  A separate
+test confirms the statistical contract: the *same* TWCS evaluation (object
+surface, fixed seed) returns the identical estimate on both backends.
+
+Environment knobs: ``REPRO_BENCH_STORAGE_TRIPLES`` (default 1_000_000)
+scales the KG; ``REPRO_BENCH_STORAGE_DRAWS`` (default 50_000) scales the
+timed draw loop.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# --------------------------------------------------------------------------- #
+# Shared configuration
+# --------------------------------------------------------------------------- #
+_TARGET_TRIPLES = int(os.environ.get("REPRO_BENCH_STORAGE_TRIPLES", 1_000_000))
+_TARGET_DRAWS = int(os.environ.get("REPRO_BENCH_STORAGE_DRAWS", 50_000))
+_MEAN_CLUSTER_SIZE = 9.0
+_GRAPH_SEED = 0
+_LABEL_SEED = 1
+_DESIGN_SEED = 2
+_ACCURACY = 0.9
+_SECOND_STAGE = 5
+_BATCH = 1024
+
+
+def _kg_config():
+    from repro.generators.synthetic_kg import SyntheticKGConfig
+
+    # Oversize the entity count slightly so the realised lognormal draw stays
+    # above the requested triple floor.
+    num_entities = max(10, int(round(_TARGET_TRIPLES / _MEAN_CLUSTER_SIZE * 1.04)))
+    return SyntheticKGConfig(
+        num_entities=num_entities,
+        mean_cluster_size=_MEAN_CLUSTER_SIZE,
+        size_skew=1.1,
+        max_cluster_size=500,
+        name="bench-storage",
+    )
+
+
+def _rss_kb() -> int:
+    with open("/proc/self/status", "r", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    raise RuntimeError("VmRSS not found")  # pragma: no cover
+
+
+# --------------------------------------------------------------------------- #
+# Subprocess workers
+# --------------------------------------------------------------------------- #
+def _worker_seed() -> dict:
+    """Seed baseline: in-memory graph, object-surface TWCS draw loop."""
+    import numpy as np
+
+    from repro.generators.synthetic_kg import generate_kg
+    from repro.sampling.twcs import TwoStageWeightedClusterDesign
+
+    rss_before = _rss_kb()
+    started = time.perf_counter()
+    graph = generate_kg(_kg_config(), seed=_GRAPH_SEED, backend="memory")
+    build_seconds = time.perf_counter() - started
+    graph_rss_kb = _rss_kb() - rss_before
+
+    label_values = np.random.default_rng(_LABEL_SEED).random(graph.num_triples) < _ACCURACY
+    labels = {triple: bool(value) for triple, value in zip(graph, label_values)}
+
+    design = TwoStageWeightedClusterDesign(graph, second_stage_size=_SECOND_STAGE, seed=_DESIGN_SEED)
+    design.update_all(design.draw(_BATCH), labels)  # warm-up
+    design.reset()
+    drawn = 0
+    started = time.perf_counter()
+    while drawn < _TARGET_DRAWS:
+        units = design.draw(min(_BATCH, _TARGET_DRAWS - drawn))
+        design.update_all(units, labels)
+        drawn += len(units)
+    loop_seconds = time.perf_counter() - started
+    return {
+        "backend": "memory (seed)",
+        "num_triples": graph.num_triples,
+        "num_entities": graph.num_entities,
+        "build_seconds": build_seconds,
+        "graph_rss_kb": graph_rss_kb,
+        "draws": drawn,
+        "draws_per_second": drawn / loop_seconds,
+        "estimate": design.estimate().value,
+    }
+
+
+def _worker_build_snapshot(snapshot_path: str) -> dict:
+    """Bulk-build the columnar twin and persist it as a snapshot directory."""
+    from repro.generators.synthetic_kg import generate_kg
+    from repro.storage.snapshot import SnapshotStore
+
+    started = time.perf_counter()
+    graph = generate_kg(_kg_config(), seed=_GRAPH_SEED, backend="columnar")
+    build_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    SnapshotStore(snapshot_path).save(graph, name=graph.name)
+    return {
+        "backend": "columnar build",
+        "num_triples": graph.num_triples,
+        "build_seconds": build_seconds,
+        "save_seconds": time.perf_counter() - started,
+    }
+
+
+def _worker_columnar(snapshot_path: str) -> dict:
+    """Columnar path: mmap-load the snapshot, position-surface TWCS loop."""
+    import numpy as np
+
+    from repro.kg.graph import KnowledgeGraph
+    from repro.sampling.twcs import TwoStageWeightedClusterDesign
+
+    rss_before = _rss_kb()
+    started = time.perf_counter()
+    graph = KnowledgeGraph.from_snapshot(snapshot_path, mmap=True)
+    design = TwoStageWeightedClusterDesign(graph, second_stage_size=_SECOND_STAGE, seed=_DESIGN_SEED)
+    load_seconds = time.perf_counter() - started
+    graph_rss_kb = _rss_kb() - rss_before
+
+    label_array = np.random.default_rng(_LABEL_SEED).random(graph.num_triples) < _ACCURACY
+    design.update_all_positions(design.draw_positions(_BATCH), label_array)  # warm-up
+    design.reset()
+    drawn = 0
+    started = time.perf_counter()
+    while drawn < _TARGET_DRAWS:
+        units = design.draw_positions(min(_BATCH, _TARGET_DRAWS - drawn))
+        design.update_all_positions(units, label_array)
+        drawn += len(units)
+    loop_seconds = time.perf_counter() - started
+    rss_after_loop_kb = _rss_kb() - rss_before
+    return {
+        "backend": "columnar (mmap snapshot)",
+        "num_triples": graph.num_triples,
+        "num_entities": graph.num_entities,
+        "load_seconds": load_seconds,
+        "graph_rss_kb": graph_rss_kb,
+        "rss_after_loop_kb": rss_after_loop_kb,
+        "draws": drawn,
+        "draws_per_second": drawn / loop_seconds,
+        "estimate": design.estimate().value,
+    }
+
+
+def _run_worker(role: str, *args: str) -> dict:
+    env = dict(os.environ)
+    src = str(_REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"] if "PYTHONPATH" in env else "")
+    completed = subprocess.run(
+        [sys.executable, str(Path(__file__).resolve()), role, *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(f"worker {role} failed:\n{completed.stderr}")
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+# --------------------------------------------------------------------------- #
+# Benchmarks
+# --------------------------------------------------------------------------- #
+def test_storage_backend_draw_loop_and_memory(benchmark, tmp_path):
+    from conftest import emit, run_once
+
+    snapshot_path = str(tmp_path / "bench-kg")
+
+    def run_comparison():
+        build = _run_worker("build-snapshot", snapshot_path)
+        seed = _run_worker("seed")
+        columnar = _run_worker("columnar", snapshot_path)
+        return build, seed, columnar
+
+    build, seed, columnar = run_once(benchmark, run_comparison)
+    speedup = columnar["draws_per_second"] / seed["draws_per_second"]
+    memory_ratio = seed["graph_rss_kb"] / max(1, columnar["graph_rss_kb"])
+    loop_memory_ratio = seed["graph_rss_kb"] / max(1, columnar["rss_after_loop_kb"])
+    emit(
+        "Storage backend: columnar + mmap snapshot vs seed in-memory graph "
+        f"({seed['num_triples']:,} triples, {seed['num_entities']:,} entities, TWCS m={_SECOND_STAGE})",
+        "\n".join(
+            [
+                f"{'':28}{'seed (memory)':>16}{'columnar':>16}{'ratio':>9}",
+                f"{'build seconds':28}{seed['build_seconds']:>16.1f}"
+                f"{build['build_seconds']:>16.1f}"
+                f"{seed['build_seconds'] / build['build_seconds']:>8.1f}x",
+                f"{'graph RSS (MB)':28}{seed['graph_rss_kb'] / 1024:>16.1f}"
+                f"{columnar['graph_rss_kb'] / 1024:>16.1f}{memory_ratio:>8.1f}x",
+                f"{'RSS after draw loop (MB)':28}{seed['graph_rss_kb'] / 1024:>16.1f}"
+                f"{columnar['rss_after_loop_kb'] / 1024:>16.1f}{loop_memory_ratio:>8.1f}x",
+                f"{'draws per second':28}{seed['draws_per_second']:>16,.0f}"
+                f"{columnar['draws_per_second']:>16,.0f}{speedup:>8.1f}x",
+                f"{'estimate (true 0.900)':28}{seed['estimate']:>16.4f}"
+                f"{columnar['estimate']:>16.4f}",
+                f"(snapshot load+design init: {columnar['load_seconds'] * 1000:.0f} ms; "
+                f"snapshot save: {build['save_seconds']:.1f} s)",
+            ]
+        ),
+    )
+    assert seed["num_triples"] >= _TARGET_TRIPLES, "KG must be >=1M triples for the headline claim"
+    assert seed["num_triples"] == columnar["num_triples"] == build["num_triples"]
+    assert speedup >= 5.0, f"draw-loop speedup {speedup:.1f}x below the 5x target"
+    assert memory_ratio >= 3.0, f"resident-memory ratio {memory_ratio:.1f}x below the 3x target"
+    # Both loops estimate the same population quantity from 50k cluster draws.
+    assert abs(seed["estimate"] - _ACCURACY) < 0.01
+    assert abs(columnar["estimate"] - _ACCURACY) < 0.01
+
+
+def test_twcs_estimate_identical_across_backends(benchmark):
+    """Same evaluation, fixed seed, both backends -> bit-identical estimate."""
+    from conftest import emit, movie_scale, run_once
+
+    from repro.core.config import EvaluationConfig
+    from repro.core.framework import StaticEvaluator
+    from repro.cost.annotator import SimulatedAnnotator
+    from repro.generators.datasets import make_movie_like
+    from repro.sampling.twcs import TwoStageWeightedClusterDesign
+
+    def run_both():
+        data = make_movie_like(seed=0, scale=movie_scale())
+        reports = {}
+        for backend_name in ("memory", "columnar"):
+            graph = data.graph if backend_name == "memory" else data.graph.to_columnar()
+            design = TwoStageWeightedClusterDesign(graph, second_stage_size=5, seed=17)
+            annotator = SimulatedAnnotator(data.oracle, seed=17)
+            config = EvaluationConfig(moe_target=0.05, confidence_level=0.95)
+            reports[backend_name] = StaticEvaluator(design, annotator, config).run()
+        return reports
+
+    reports = run_once(benchmark, run_both)
+    memory_report, columnar_report = reports["memory"], reports["columnar"]
+    emit(
+        "TWCS evaluation parity across storage backends (MOVIE-like, seed 17)",
+        f"memory  : accuracy={memory_report.accuracy:.6f} moe={memory_report.margin_of_error:.6f} "
+        f"triples={memory_report.num_triples_annotated}\n"
+        f"columnar: accuracy={columnar_report.accuracy:.6f} moe={columnar_report.margin_of_error:.6f} "
+        f"triples={columnar_report.num_triples_annotated}",
+    )
+    assert memory_report.accuracy == columnar_report.accuracy
+    assert memory_report.margin_of_error == columnar_report.margin_of_error
+    assert memory_report.num_triples_annotated == columnar_report.num_triples_annotated
+    assert memory_report.annotation_cost_seconds == columnar_report.annotation_cost_seconds
+
+
+# --------------------------------------------------------------------------- #
+# Worker entry point
+# --------------------------------------------------------------------------- #
+if __name__ == "__main__":
+    role = sys.argv[1]
+    if role == "seed":
+        print(json.dumps(_worker_seed()))
+    elif role == "build-snapshot":
+        print(json.dumps(_worker_build_snapshot(sys.argv[2])))
+    elif role == "columnar":
+        print(json.dumps(_worker_columnar(sys.argv[2])))
+    else:  # pragma: no cover
+        raise SystemExit(f"unknown worker role {role!r}")

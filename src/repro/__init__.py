@@ -50,6 +50,14 @@ from repro.generators import (
 )
 from repro.kg import EvolvingKnowledgeGraph, KnowledgeGraph, Triple, UpdateBatch
 from repro.labels import BinomialMixtureModel, LabelOracle, RandomErrorModel
+from repro.storage import (
+    ColumnarStore,
+    InMemoryStore,
+    SnapshotStore,
+    StorageBackend,
+    ingest_nt,
+    ingest_tsv,
+)
 from repro.sampling import (
     RandomClusterDesign,
     SimpleRandomDesign,
@@ -73,6 +81,13 @@ __all__ = [
     "KnowledgeGraph",
     "UpdateBatch",
     "EvolvingKnowledgeGraph",
+    # Storage backends
+    "StorageBackend",
+    "InMemoryStore",
+    "ColumnarStore",
+    "SnapshotStore",
+    "ingest_tsv",
+    "ingest_nt",
     # Labels
     "LabelOracle",
     "RandomErrorModel",

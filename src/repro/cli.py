@@ -1,13 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows:
+Four commands cover the common workflows:
 
 * ``datasets`` — print Table-3-style characteristics of the synthetic dataset
   stand-ins (entities, triples, average cluster size, gold accuracy);
 * ``evaluate`` — run one accuracy evaluation of a chosen dataset with a chosen
-  sampling design and quality requirement, and print the report;
+  sampling design and quality requirement, and print the report
+  (``--backend columnar`` runs the same evaluation on columnar storage and
+  yields the identical estimate under the same seed);
 * ``experiment`` — regenerate one of the paper's tables/figures and print the
-  rows (the same functions the benchmark suite calls).
+  rows (the same functions the benchmark suite calls);
+* ``snapshot`` — build a dataset's graph and persist it with
+  :class:`~repro.storage.snapshot.SnapshotStore` (``.npz`` archive, or a
+  memory-mappable snapshot directory when the path has no ``.npz`` suffix).
 
 Examples
 --------
@@ -15,7 +20,9 @@ Examples
 
     python -m repro datasets
     python -m repro evaluate --dataset nell --design twcs --moe 0.05 --seed 7
+    python -m repro evaluate --dataset nell --backend columnar
     python -m repro experiment table5 --trials 10
+    python -m repro snapshot --dataset movie --out movie.npz
 """
 
 from __future__ import annotations
@@ -110,6 +117,8 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     data = _load_dataset(args.dataset, args.seed, args.movie_scale)
+    if args.backend == "columnar":
+        data = LabelledKG(data.graph.to_columnar(), data.oracle)
     design = _build_design(args.design, data, args.second_stage_size, args.seed)
     annotator = SimulatedAnnotator(data.oracle, seed=args.seed)
     config = EvaluationConfig(moe_target=args.moe, confidence_level=args.confidence)
@@ -126,6 +135,20 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     print(f"entities identified: {report.num_entities_identified}")
     print(f"annotation cost    : {report.annotation_cost_hours:.2f} hours")
     return 0 if report.satisfied else 1
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.storage.snapshot import SnapshotStore
+
+    data = _load_dataset(args.dataset, args.seed, args.movie_scale)
+    graph = data.graph.to_columnar()
+    path = SnapshotStore(args.out).save(graph, name=graph.name, compress=args.compress)
+    layout = "npz archive" if SnapshotStore(path).is_archive else "mmap-able directory"
+    print(f"dataset  : {graph.name}")
+    print(f"entities : {graph.num_entities}")
+    print(f"triples  : {graph.num_triples}")
+    print(f"snapshot : {path} ({layout})")
+    return 0
 
 
 _EXPERIMENTS = {
@@ -215,6 +238,28 @@ def build_parser() -> argparse.ArgumentParser:
         dest="second_stage_size",
         help="TWCS second-stage cap m (default 5)",
     )
+    evaluate.add_argument(
+        "--backend",
+        choices=("memory", "columnar"),
+        default="memory",
+        help="storage backend for the evaluated graph (default memory)",
+    )
+
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        parents=[common],
+        help="build a dataset and persist it as a columnar snapshot",
+    )
+    snapshot.add_argument("--dataset", choices=_DATASETS, default="nell")
+    snapshot.add_argument(
+        "--out",
+        required=True,
+        help="target path: *.npz for a single archive, anything else for a "
+        "memory-mappable snapshot directory",
+    )
+    snapshot.add_argument(
+        "--compress", action="store_true", help="compress the .npz archive"
+    )
 
     experiment = subparsers.add_parser(
         "experiment", parents=[common], help="regenerate one of the paper's tables/figures"
@@ -233,6 +278,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_datasets(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
+    if args.command == "snapshot":
+        return _cmd_snapshot(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     parser.print_help()

@@ -58,11 +58,23 @@ class NoisyAnnotator(SimulatedAnnotator):
     ) -> None:
         if not 0.0 <= label_error_rate <= 1.0:
             raise ValueError("label_error_rate must be in [0, 1]")
+        # Derive independent child streams for timing noise and label flips.
+        # Passing the same `seed` to both would make them identical streams:
+        # the k-th label flip and the k-th time-noise factor would be driven
+        # by the same underlying draws, silently correlating label errors
+        # with annotation cost.
+        if isinstance(seed, np.random.Generator):
+            cost_rng: np.random.Generator | np.random.SeedSequence = seed
+            # Generator.spawn derives an independent child stream without
+            # advancing the parent, so callers sharing `seed` are unaffected.
+            label_rng_or_seed: np.random.Generator | np.random.SeedSequence = seed.spawn(1)[0]
+        else:
+            cost_rng, label_rng_or_seed = np.random.SeedSequence(seed).spawn(2)
         super().__init__(
-            oracle, cost_model=cost_model, time_noise_sigma=time_noise_sigma, seed=seed
+            oracle, cost_model=cost_model, time_noise_sigma=time_noise_sigma, seed=cost_rng
         )
         self.label_error_rate = label_error_rate
-        self._label_rng = np.random.default_rng(seed)
+        self._label_rng = np.random.default_rng(label_rng_or_seed)
 
     def annotate_triples(self, triples: Iterable[Triple]) -> AnnotationResult:
         """Annotate triples, flipping each fresh label with the error rate."""

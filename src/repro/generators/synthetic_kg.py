@@ -117,9 +117,21 @@ def sample_cluster_sizes(
 
 
 def generate_kg(
-    config: SyntheticKGConfig, seed: int | np.random.Generator | None = None
+    config: SyntheticKGConfig,
+    seed: int | np.random.Generator | None = None,
+    backend: str = "memory",
 ) -> KnowledgeGraph:
-    """Generate a synthetic knowledge graph according to ``config``."""
+    """Generate a synthetic knowledge graph according to ``config``.
+
+    ``backend="columnar"`` builds the graph directly inside a
+    :class:`~repro.storage.columnar.ColumnarStore` — string ids are interned
+    on the fly and appended to the store's ``int32`` buffers, so no
+    intermediate :class:`~repro.kg.triple.Triple` objects, key tuples or
+    per-cluster position lists are ever allocated.  Both backends consume the
+    random stream identically and produce the *same triples in the same
+    order* for a given seed, so a columnar graph (or a snapshot of it) is a
+    drop-in stand-in for the in-memory one.
+    """
     rng = np.random.default_rng(seed)
     sizes = sample_cluster_sizes(
         config.num_entities,
@@ -128,6 +140,10 @@ def generate_kg(
         config.max_cluster_size,
         rng,
     )
+    if backend == "columnar":
+        return _generate_columnar(config, sizes, rng)
+    if backend != "memory":
+        raise ValueError(f"unknown backend {backend!r}; choose 'memory' or 'columnar'")
     graph = KnowledgeGraph(name=config.name)
     predicates = _DEFAULT_PREDICATES
     entity_object_cutoff = config.entity_object_fraction
@@ -155,3 +171,42 @@ def generate_kg(
                 )
             graph.add(triple)
     return graph
+
+
+def _generate_columnar(
+    config: SyntheticKGConfig, sizes: np.ndarray, rng: np.random.Generator
+) -> KnowledgeGraph:
+    """Bulk columnar twin of the in-memory generation loop.
+
+    Consumes the random stream in exactly the same order as the memory path.
+    Duplicate disambiguation uses a per-cluster ``(predicate, object)`` set,
+    which is equivalent to the memory path's global ``triple in graph`` check
+    because subjects are unique per cluster.
+    """
+    from repro.storage.columnar import ColumnarStore
+
+    store = ColumnarStore()
+    intern = store.vocab.intern
+    append = store.append_interned
+    predicate_ids = [intern(predicate) for predicate in _DEFAULT_PREDICATES]
+    entity_object_cutoff = config.entity_object_fraction
+    num_entities = config.num_entities
+    for entity_index, size in enumerate(sizes):
+        subject_id = intern(f"e{entity_index}")
+        predicate_choices = rng.integers(0, len(predicate_ids), size=int(size))
+        object_draws = rng.random(int(size))
+        seen: set[tuple[int, int]] = set()
+        for fact_index in range(int(size)):
+            predicate_id = predicate_ids[int(predicate_choices[fact_index])]
+            is_entity_object = bool(object_draws[fact_index] < entity_object_cutoff)
+            if is_entity_object:
+                obj = f"e{int(rng.integers(0, num_entities))}"
+            else:
+                obj = f"value_{entity_index}_{fact_index}"
+            object_id = intern(obj)
+            if (predicate_id, object_id) in seen:
+                object_id = intern(f"{obj}#{fact_index}")
+            seen.add((predicate_id, object_id))
+            append(subject_id, predicate_id, object_id, is_entity_object)
+    store.finalize()
+    return KnowledgeGraph(name=config.name, backend=store)

@@ -1,12 +1,18 @@
 """Knowledge-graph data model.
 
 This subpackage provides the substrate on which every sampling design in the
-paper operates: an immutable :class:`~repro.kg.triple.Triple`, an in-memory
-:class:`~repro.kg.graph.KnowledgeGraph` indexed by entity cluster (all triples
-sharing a subject id), an append-only evolution model
+paper operates: an immutable :class:`~repro.kg.triple.Triple`, a
+:class:`~repro.kg.graph.KnowledgeGraph` indexed by entity cluster (all
+triples sharing a subject id), an append-only evolution model
 (:class:`~repro.kg.updates.UpdateBatch`,
 :class:`~repro.kg.updates.EvolvingKnowledgeGraph`), plain-text I/O and
 cluster-level statistics.
+
+Physical storage is pluggable (see :mod:`repro.storage`): the default
+in-memory backend keeps Python objects for cheap incremental mutation, while
+the columnar backend packs triples into interned ``int32`` NumPy columns
+with a CSR cluster index for million-triple graphs, zero-copy cluster
+position slices, persistent/memory-mapped snapshots and streaming ingest.
 """
 
 from repro.kg.graph import EntityCluster, KnowledgeGraph

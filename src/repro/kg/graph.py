@@ -1,4 +1,4 @@
-"""In-memory knowledge graph with an entity-cluster index.
+"""Knowledge graph with an entity-cluster index over a pluggable storage backend.
 
 The sampling designs in the paper operate on two views of the same graph:
 
@@ -6,20 +6,37 @@ The sampling designs in the paper operate on two views of the same graph:
 * a population of *entity clusters* ``G[e] = {t : t.subject == e}`` (used by
   all cluster-sampling designs and by the annotation cost model).
 
-:class:`KnowledgeGraph` maintains both views.  Triples are stored in insertion
-order; the cluster index maps each subject id to the list of triple positions
-belonging to it, so cluster lookups, cluster sizes and per-cluster sampling are
-all O(cluster size) or better.
+:class:`KnowledgeGraph` maintains both views but no longer owns the physical
+representation: storage is delegated to a
+:class:`~repro.storage.backend.StorageBackend`.  The default
+:class:`~repro.storage.memory.InMemoryStore` keeps the original
+object-per-triple layout (cheap incremental ``add``); the columnar backend
+(:class:`~repro.storage.columnar.ColumnarStore`) packs the graph into
+interned ``int32`` NumPy columns with a CSR cluster index, which scales to
+millions of triples and can be persisted/memory-mapped through
+:class:`~repro.storage.snapshot.SnapshotStore`.
+
+Two access styles coexist:
+
+* the original object API (``cluster``, ``sample_cluster_triples``, …),
+  which materialises :class:`~repro.kg.triple.Triple` objects and is what
+  annotation flows need;
+* a *position* API (``cluster_positions``, ``sample_cluster_positions``,
+  ``sample_cluster_positions_batch``, ``labels_for_positions``), which works
+  on integer triple positions only and lets the samplers' draw/estimate
+  loops avoid allocating per-draw Triple tuples entirely.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.kg.triple import Triple
+from repro.storage.backend import StorageBackend, make_backend
 
 __all__ = ["EntityCluster", "KnowledgeGraph"]
 
@@ -51,6 +68,29 @@ class EntityCluster:
         return len(self.triples)
 
 
+def _floyd_sample_batch(sizes: np.ndarray, cap: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample ``cap`` distinct within-cluster offsets for each of many clusters.
+
+    Vectorised Floyd's algorithm: iteration ``j`` draws, for every cluster at
+    once, a uniform offset in ``[0, size - cap + j]``; a draw that collides
+    with an earlier pick for the same cluster is replaced by ``size - cap +
+    j`` itself, which cannot have been picked before.  Each row is a uniform
+    without-replacement ``cap``-subset of ``range(size)`` (as a set; the
+    within-row order is not uniform, which the estimators never observe).
+
+    ``sizes`` must all be strictly greater than ``cap``.
+    """
+    base = np.asarray(sizes, dtype=np.int64) - cap
+    picks = np.empty((base.shape[0], cap), dtype=np.int64)
+    for j in range(cap):
+        t = rng.integers(0, base + j + 1)
+        if j:
+            collision = (picks[:, :j] == t[:, None]).any(axis=1)
+            t = np.where(collision, base + j, t)
+        picks[:, j] = t
+    return picks
+
+
 class KnowledgeGraph:
     """A set of triples indexed by entity cluster.
 
@@ -61,6 +101,11 @@ class KnowledgeGraph:
         so the graph behaves as a set, matching the paper's model ``G = {t}``.
     name:
         Optional human-readable name used in reports.
+    backend:
+        Physical storage: a :class:`~repro.storage.backend.StorageBackend`
+        instance (possibly pre-populated, e.g. from a snapshot), a backend
+        name (``"memory"`` or ``"columnar"``), or ``None`` for the default
+        in-memory store.
 
     Examples
     --------
@@ -73,27 +118,38 @@ class KnowledgeGraph:
     2
     """
 
-    def __init__(self, triples: Iterable[Triple] = (), name: str = "kg") -> None:
+    def __init__(
+        self,
+        triples: Iterable[Triple] = (),
+        name: str = "kg",
+        backend: StorageBackend | str | None = None,
+    ) -> None:
         self.name = name
-        self._triples: list[Triple] = []
-        self._triple_set: set[tuple[str, str, str]] = set()
-        self._cluster_index: dict[str, list[int]] = {}
+        if backend is None:
+            backend = make_backend("memory")
+        elif isinstance(backend, str):
+            backend = make_backend(backend)
+        self._backend: StorageBackend = backend
+        self._triples_view: tuple[Triple, ...] | None = None
+        self._entity_ids_view: tuple[str, ...] | None = None
         for triple in triples:
             self.add(triple)
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend this graph delegates to."""
+        return self._backend
 
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
     def add(self, triple: Triple) -> bool:
         """Insert ``triple``; return ``True`` if it was not already present."""
-        key = triple.as_tuple()
-        if key in self._triple_set:
-            return False
-        self._triple_set.add(key)
-        position = len(self._triples)
-        self._triples.append(triple)
-        self._cluster_index.setdefault(triple.subject, []).append(position)
-        return True
+        added = self._backend.add(triple)
+        if added:
+            self._triples_view = None
+            self._entity_ids_view = None
+        return added
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; return the number of new triples added."""
@@ -105,17 +161,17 @@ class KnowledgeGraph:
     @property
     def num_triples(self) -> int:
         """Total number of triples (``M`` in the paper)."""
-        return len(self._triples)
+        return self._backend.num_triples
 
     @property
     def num_entities(self) -> int:
         """Number of distinct entity clusters (``N`` in the paper)."""
-        return len(self._cluster_index)
+        return self._backend.num_entities
 
     @property
     def average_cluster_size(self) -> float:
         """``M / N``, the average cluster size reported in Table 3."""
-        if not self._cluster_index:
+        if self.num_entities == 0:
             return 0.0
         return self.num_triples / self.num_entities
 
@@ -123,27 +179,40 @@ class KnowledgeGraph:
         return self.num_triples
 
     def __contains__(self, triple: Triple) -> bool:
-        return triple.as_tuple() in self._triple_set
+        return self._backend.contains(triple)
 
     def __iter__(self) -> Iterator[Triple]:
-        return iter(self._triples)
+        return self._backend.iter_triples()
 
     # ------------------------------------------------------------------ #
     # Access
     # ------------------------------------------------------------------ #
     @property
     def triples(self) -> Sequence[Triple]:
-        """All triples in insertion order (read-only view)."""
-        return tuple(self._triples)
+        """All triples in insertion order (cached read-only view).
+
+        The tuple is materialised on first access and reused until the next
+        :meth:`add` invalidates it, so repeated reads are O(1) instead of the
+        O(M) copy the seed implementation made on every access.
+        """
+        if self._triples_view is None:
+            self._triples_view = tuple(self._backend.iter_triples())
+        return self._triples_view
 
     def triple_at(self, position: int) -> Triple:
         """Return the triple stored at ``position`` (insertion order)."""
-        return self._triples[position]
+        return self._backend.triple_at(position)
+
+    def triples_at(self, positions: Sequence[int] | np.ndarray) -> list[Triple]:
+        """Materialise the triples at the given positions, in the given order."""
+        return self._backend.triples_at(positions)
 
     @property
     def entity_ids(self) -> Sequence[str]:
-        """All subject entity ids, in first-seen order."""
-        return tuple(self._cluster_index.keys())
+        """All subject entity ids, in first-seen order (cached view)."""
+        if self._entity_ids_view is None:
+            self._entity_ids_view = tuple(self._backend.entity_ids())
+        return self._entity_ids_view
 
     def cluster(self, entity_id: str) -> EntityCluster:
         """Return the entity cluster ``G[e]`` for ``entity_id``.
@@ -153,29 +222,82 @@ class KnowledgeGraph:
         KeyError
             If the entity id has no triples in this graph.
         """
-        positions = self._cluster_index[entity_id]
-        return EntityCluster(entity_id, tuple(self._triples[i] for i in positions))
+        positions = self._backend.cluster_positions(entity_id)
+        return EntityCluster(entity_id, tuple(self._backend.triples_at(positions)))
 
     def clusters(self) -> Iterator[EntityCluster]:
         """Iterate over all entity clusters in first-seen order."""
-        for entity_id in self._cluster_index:
+        for entity_id in self.entity_ids:
             yield self.cluster(entity_id)
 
     def cluster_size(self, entity_id: str) -> int:
         """Return ``M_i`` for the given entity id."""
-        return len(self._cluster_index[entity_id])
+        return self._backend.cluster_size(entity_id)
 
     def cluster_sizes(self) -> Mapping[str, int]:
         """Return a mapping of entity id to cluster size."""
-        return {entity: len(positions) for entity, positions in self._cluster_index.items()}
+        sizes = self._backend.cluster_size_array()
+        return {entity: int(size) for entity, size in zip(self.entity_ids, sizes)}
 
     def cluster_size_array(self) -> np.ndarray:
         """Return cluster sizes as an ``int64`` array aligned with :attr:`entity_ids`."""
-        return np.array([len(p) for p in self._cluster_index.values()], dtype=np.int64)
+        return self._backend.cluster_size_array()
 
     def has_entity(self, entity_id: str) -> bool:
         """Return whether any triple has ``entity_id`` as its subject."""
-        return entity_id in self._cluster_index
+        return self._backend.has_entity(entity_id)
+
+    # ------------------------------------------------------------------ #
+    # Position API (allocation-free cluster views)
+    # ------------------------------------------------------------------ #
+    def cluster_positions(self, entity_id: str) -> np.ndarray:
+        """Positions of the entity's triples (zero-copy on columnar backends)."""
+        return self._backend.cluster_positions(entity_id)
+
+    def entity_row(self, entity_id: str) -> int:
+        """Row index of ``entity_id`` in :attr:`entity_ids` order."""
+        return self._backend.entity_row(entity_id)
+
+    def entity_id_of_row(self, row: int) -> str:
+        """Subject id of cluster ``row`` (inverse of :meth:`entity_row`)."""
+        return self._backend.entity_id_of_row(row)
+
+    def cluster_positions_by_row(self, row: int) -> np.ndarray:
+        """Positions of cluster ``row``'s triples (zero-copy on columnar backends)."""
+        return self._backend.cluster_positions_by_row(row)
+
+    def labels_for_positions(
+        self,
+        positions: Sequence[int] | np.ndarray,
+        labels: Mapping[Triple, bool] | np.ndarray,
+    ) -> np.ndarray:
+        """Resolve correctness labels for triple positions as a boolean array.
+
+        ``labels`` may be a position-aligned boolean array (fancy-indexed,
+        no Triple objects are created) or a Triple-keyed mapping (each
+        position is materialised and looked up — the compatibility path).
+        """
+        if isinstance(labels, np.ndarray):
+            return labels[np.asarray(positions, dtype=np.int64)]
+        return np.fromiter(
+            (labels[t] for t in self._backend.triples_at(positions)),
+            dtype=bool,
+            count=len(positions),
+        )
+
+    def position_label_array(
+        self, labels: Mapping[Triple, bool], default: bool = False
+    ) -> np.ndarray:
+        """Convert a Triple-keyed label mapping into a position-aligned array.
+
+        One O(M) pass; afterwards :meth:`labels_for_positions` resolves labels
+        without touching Triple objects at all.
+        """
+        return np.fromiter(
+            (labels.get(t, default) for t in self._backend.iter_triples()),
+            dtype=bool,
+            count=self.num_triples,
+        )
 
     # ------------------------------------------------------------------ #
     # Sampling helpers
@@ -187,16 +309,94 @@ class KnowledgeGraph:
                 f"cannot draw {count} triples from a graph with {self.num_triples}"
             )
         positions = rng.choice(self.num_triples, size=count, replace=False)
-        return [self._triples[int(i)] for i in positions]
+        return self._backend.triples_at(positions)
+
+    def sample_cluster_positions(
+        self, entity_id: str, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw ``min(count, M_i)`` triple positions without replacement from one cluster.
+
+        Consumes the random stream exactly like the seed implementation of
+        :meth:`sample_cluster_triples` (one ``rng.choice`` call), so draws are
+        bit-for-bit reproducible across storage backends.
+        """
+        positions = self._backend.cluster_positions(entity_id)
+        take = min(count, len(positions))
+        chosen = rng.choice(len(positions), size=take, replace=False)
+        return np.asarray(positions)[chosen]
 
     def sample_cluster_triples(
         self, entity_id: str, count: int, rng: np.random.Generator
     ) -> list[Triple]:
         """Draw ``min(count, M_i)`` triples without replacement from one cluster."""
-        positions = self._cluster_index[entity_id]
-        take = min(count, len(positions))
-        chosen = rng.choice(len(positions), size=take, replace=False)
-        return [self._triples[positions[int(i)]] for i in chosen]
+        return self._backend.triples_at(self.sample_cluster_positions(entity_id, count, rng))
+
+    def sample_cluster_positions_batch(
+        self, rows: np.ndarray, cap: int, rng: np.random.Generator
+    ) -> list[np.ndarray]:
+        """Second-stage sample of up to ``cap`` positions from each cluster row.
+
+        The vectorised fast path behind the designs' position draws: clusters
+        no larger than ``cap`` contribute their full (zero-copy) position
+        slice; larger clusters are subsampled without replacement with a
+        batched Floyd pass (``cap`` vectorised RNG calls for the whole batch
+        instead of one ``rng.choice`` per cluster).  The random stream
+        therefore differs from :meth:`sample_cluster_positions`; within one
+        backend it is still fully deterministic under a fixed seed.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        out: list[np.ndarray | None] = [None] * rows.shape[0]
+        csr = self._backend.csr_arrays()
+        if csr is None:
+            for i, row in enumerate(rows):
+                positions = np.asarray(self._backend.cluster_positions_by_row(int(row)))
+                if positions.shape[0] <= cap:
+                    out[i] = positions
+                else:
+                    out[i] = positions[rng.choice(positions.shape[0], size=cap, replace=False)]
+            return out  # type: ignore[return-value]
+        offsets, positions = csr
+        starts = offsets[rows]
+        sizes = offsets[rows + 1] - starts
+        large = sizes > cap
+        for i in np.flatnonzero(~large):
+            start = int(starts[i])
+            out[i] = positions[start : start + int(sizes[i])]
+        large_indices = np.flatnonzero(large)
+        if large_indices.size:
+            picks = _floyd_sample_batch(sizes[large_indices], cap, rng)
+            chosen = positions[starts[large_indices][:, None] + picks]
+            for j, i in enumerate(large_indices):
+                out[i] = chosen[j]
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Storage conversion / persistence
+    # ------------------------------------------------------------------ #
+    def to_columnar(self, name: str | None = None) -> "KnowledgeGraph":
+        """Return this graph re-packed onto a columnar backend."""
+        from repro.storage.columnar import ColumnarStore
+
+        if isinstance(self._backend, ColumnarStore):
+            return self
+        store = ColumnarStore.from_graph(self._backend.iter_triples())
+        store.finalize()
+        return KnowledgeGraph(name=name if name is not None else self.name, backend=store)
+
+    def save_snapshot(self, path: str | Path, compress: bool = False) -> Path:
+        """Persist the graph via :class:`~repro.storage.snapshot.SnapshotStore`."""
+        from repro.storage.snapshot import SnapshotStore
+
+        return SnapshotStore(path).save(self, name=self.name, compress=compress)
+
+    @classmethod
+    def from_snapshot(
+        cls, path: str | Path, mmap: bool = False, name: str | None = None
+    ) -> "KnowledgeGraph":
+        """Reopen a snapshot as a columnar-backed graph (optionally memory-mapped)."""
+        from repro.storage.snapshot import SnapshotStore
+
+        return SnapshotStore(path).load_graph(mmap=mmap, name=name)
 
     # ------------------------------------------------------------------ #
     # Derivation
@@ -206,8 +406,10 @@ class KnowledgeGraph:
         subset_name = name if name is not None else f"{self.name}-subset"
         result = KnowledgeGraph(name=subset_name)
         for entity_id in entity_ids:
-            for position in self._cluster_index.get(entity_id, ()):
-                result.add(self._triples[position])
+            if not self._backend.has_entity(entity_id):
+                continue
+            for triple in self._backend.triples_at(self._backend.cluster_positions(entity_id)):
+                result.add(triple)
         return result
 
     def random_triple_subset(
@@ -221,8 +423,15 @@ class KnowledgeGraph:
         return KnowledgeGraph(self.sample_triples(count, rng), name=subset_name)
 
     def copy(self, name: str | None = None) -> "KnowledgeGraph":
-        """Return a shallow copy of this graph (triples are immutable)."""
-        return KnowledgeGraph(self._triples, name=name if name is not None else self.name)
+        """Return a shallow copy of this graph (triples are immutable).
+
+        The copy uses a fresh backend of the same kind as this graph's.
+        """
+        return KnowledgeGraph(
+            self._backend.iter_triples(),
+            name=name if name is not None else self.name,
+            backend=type(self._backend)(),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -13,6 +13,13 @@ Two interchange formats are supported:
 These loaders let the harness run against the real annotated NELL/YAGO files
 when they are available; the default experiments use synthetic equivalents
 from :mod:`repro.generators`.
+
+For large files, :func:`read_triples_tsv` accepts ``backend="columnar"``,
+which routes through the streaming ingest path
+(:mod:`repro.storage.ingest`): fields are interned on the fly into the
+columnar store's ``int32`` buffers and no intermediate
+:class:`~repro.kg.triple.Triple` objects are built.  N-Triples files can be
+loaded the same way via :func:`repro.storage.ingest.ingest_nt`.
 """
 
 from __future__ import annotations
@@ -52,10 +59,22 @@ def _iter_data_lines(path: Path) -> Iterator[tuple[int, str]]:
             yield line_number, line
 
 
-def read_triples_tsv(path: str | Path, name: str | None = None) -> KnowledgeGraph:
+def read_triples_tsv(
+    path: str | Path, name: str | None = None, backend: str = "memory"
+) -> KnowledgeGraph:
     """Load a knowledge graph from a triple TSV file.
 
     Lines that are empty or start with ``#`` are skipped.
+
+    Parameters
+    ----------
+    path, name:
+        File to read and optional graph name (defaults to the file stem).
+    backend:
+        ``"memory"`` (default) builds the object-backed graph;
+        ``"columnar"`` streams the file straight into a columnar store
+        without materialising intermediate Triple objects.  Both produce the
+        same triple set in the same order.
 
     Raises
     ------
@@ -63,6 +82,12 @@ def read_triples_tsv(path: str | Path, name: str | None = None) -> KnowledgeGrap
         If a line does not have at least three tab-separated fields.
     """
     path = Path(path)
+    if backend == "columnar":
+        from repro.storage.ingest import ingest_tsv
+
+        return ingest_tsv(path, name=name)
+    if backend != "memory":
+        raise ValueError(f"unknown backend {backend!r}; choose 'memory' or 'columnar'")
     graph = KnowledgeGraph(name=name if name is not None else path.stem)
     for line_number, line in _iter_data_lines(path):
         fields = line.split("\t")

@@ -50,6 +50,30 @@ class LabelOracle:
         """Return labels for a sequence of triples, preserving order."""
         return [self.label(triple) for triple in triples]
 
+    @property
+    def mapping(self) -> Mapping[Triple, bool]:
+        """Read-only view of the underlying triple -> label mapping."""
+        return self._labels
+
+    def as_position_array(self, graph: KnowledgeGraph):
+        """Labels as a boolean array aligned with ``graph`` triple positions.
+
+        One O(M) conversion; afterwards the samplers' position surface
+        (``draw_positions`` / ``update_all_positions``) resolves labels with
+        pure array indexing, no Triple hashing.  Unknown triples follow the
+        oracle's ``strict`` setting: ``KeyError`` when strict, ``True``
+        otherwise.
+        """
+        if not self._strict:
+            return graph.position_label_array(self._labels, default=True)
+        import numpy as np
+
+        # self.label raises the oracle's KeyError on the first missing triple,
+        # so strictness costs no extra pass over the graph.
+        return np.fromiter(
+            (self.label(triple) for triple in graph), dtype=bool, count=graph.num_triples
+        )
+
     def __contains__(self, triple: Triple) -> bool:
         return triple in self._labels
 

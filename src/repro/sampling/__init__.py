@@ -31,7 +31,7 @@ Supporting modules: theoretical variance Eq. (10)
 (:mod:`repro.sampling.reservoir`).
 """
 
-from repro.sampling.base import Estimate, SampleUnit, SamplingDesign
+from repro.sampling.base import Estimate, PositionUnit, SampleUnit, SamplingDesign
 from repro.sampling.optimal import (
     expected_srs_cost_seconds,
     expected_twcs_cost_seconds,
@@ -55,6 +55,7 @@ from repro.sampling.wcs import WeightedClusterDesign
 __all__ = [
     "Estimate",
     "SampleUnit",
+    "PositionUnit",
     "SamplingDesign",
     "SimpleRandomDesign",
     "RandomClusterDesign",

@@ -1,15 +1,33 @@
-"""Common types shared by every sampling design."""
+"""Common types shared by every sampling design.
+
+Every design supports two draw/estimate surfaces:
+
+* the object surface (:meth:`SamplingDesign.draw` /
+  :meth:`SamplingDesign.update`) — units carry materialised
+  :class:`~repro.kg.triple.Triple` tuples and labels arrive as a
+  Triple-keyed mapping.  This is what annotation flows need: triples are
+  handed to (simulated) annotators.
+* the position surface (:meth:`SamplingDesign.draw_positions` /
+  :meth:`SamplingDesign.update_positions`) — units carry integer triple
+  positions only and labels arrive as boolean arrays, so hot draw/estimate
+  loops (benchmarks, oracle-backed simulations, pilot sizing sweeps) never
+  allocate per-draw Triple tuples.  Position draws consume the random stream
+  differently from object draws (they use the vectorised batch samplers),
+  but are fully deterministic under a fixed seed on any storage backend.
+"""
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.kg.triple import Triple
 from repro.stats.ci import ConfidenceInterval, normal_interval
 
-__all__ = ["SampleUnit", "Estimate", "SamplingDesign"]
+__all__ = ["SampleUnit", "PositionUnit", "Estimate", "SamplingDesign", "segment_label_sums"]
 
 
 @dataclass(frozen=True)
@@ -28,16 +46,73 @@ class SampleUnit:
         Subject id of the sampled cluster, or ``None`` for triple-level units.
     cluster_size:
         Size ``M_i`` of the sampled cluster (1 for triple-level units).
+    positions:
+        Graph positions of :attr:`triples` when the producing design knows
+        them (all backends report positions since the storage refactor);
+        excluded from equality.  Lets estimate code resolve labels through
+        ``KnowledgeGraph.labels_for_positions`` without hashing Triples.
     """
 
     triples: tuple[Triple, ...]
     entity_id: str | None = None
     cluster_size: int = 1
+    positions: np.ndarray | None = field(default=None, compare=False, repr=False)
 
     @property
     def num_triples(self) -> int:
         """Number of triples that need annotation for this unit."""
         return len(self.triples)
+
+
+@dataclass(slots=True)
+class PositionUnit:
+    """One draw expressed purely as triple positions (no Triple objects).
+
+    Attributes
+    ----------
+    positions:
+        Graph positions of the triples selected for this unit — often a
+        zero-copy view into the backend's CSR index.
+    entity_row:
+        Row of the sampled cluster in ``graph.entity_ids`` order, or ``-1``
+        for triple-level units.
+    cluster_size:
+        Size ``M_i`` of the sampled cluster (1 for triple-level units).
+    """
+
+    positions: np.ndarray
+    entity_row: int = -1
+    cluster_size: int = 1
+
+    @property
+    def num_triples(self) -> int:
+        """Number of triples selected for this unit."""
+        return int(self.positions.shape[0])
+
+
+def segment_label_sums(
+    units: list[PositionUnit], label_array: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-unit sizes and correct-label sums for a batch of position units.
+
+    One flat gather over ``label_array`` plus a cumulative-sum segment
+    reduction instead of one fancy-index + reduction per unit; the backbone
+    of the designs' vectorised ``update_all_positions`` overrides.  Returns
+    ``(counts, sums)`` as ``int64`` / ``float64`` arrays aligned with
+    ``units``; a zero-length unit contributes a sum of 0.
+    """
+    if not units:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    counts = np.fromiter(
+        (unit.positions.shape[0] for unit in units), dtype=np.int64, count=len(units)
+    )
+    flat = np.concatenate([unit.positions for unit in units])
+    correct = label_array[flat].astype(np.float64)
+    # Segment sums via prefix-sum differences (unlike np.add.reduceat, this
+    # stays correct when a segment is empty or ends the batch).
+    prefix = np.concatenate(([0.0], np.cumsum(correct)))
+    ends = np.cumsum(counts)
+    return counts, prefix[ends] - prefix[ends - counts]
 
 
 @dataclass(frozen=True)
@@ -114,12 +189,45 @@ class SamplingDesign(ABC):
         """Clear all sampling and estimation state (start a fresh run)."""
 
     # ------------------------------------------------------------------ #
+    # Position surface (allocation-free draw/estimate loops)
+    # ------------------------------------------------------------------ #
+    def draw_positions(self, count: int) -> list[PositionUnit]:
+        """Draw up to ``count`` units as position-only views.
+
+        Designs that have not been migrated to the position surface raise
+        ``NotImplementedError``.  The five core designs (SRS, RCS, WCS,
+        TWCS, TSRCS) implement it; ``StratifiedTWCSDesign`` does not yet.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the position draw surface"
+        )
+
+    def update_positions(self, unit: PositionUnit, labels: np.ndarray) -> None:
+        """Fold one position unit into the estimator.
+
+        ``labels`` is a boolean array aligned with ``unit.positions``
+        (typically ``label_array[unit.positions]``).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the position update surface"
+        )
+
+    # ------------------------------------------------------------------ #
     # Conveniences shared by all designs
     # ------------------------------------------------------------------ #
     def update_all(self, units: list[SampleUnit], labels: dict[Triple, bool]) -> None:
         """Update the estimator with several units at once."""
         for unit in units:
             self.update(unit, labels)
+
+    def update_all_positions(self, units: list[PositionUnit], label_array: np.ndarray) -> None:
+        """Update the estimator with several position units at once.
+
+        ``label_array`` is a position-aligned boolean array over the whole
+        graph (see ``KnowledgeGraph.position_label_array``).
+        """
+        for unit in units:
+            self.update_positions(unit, label_array[unit.positions])
 
     @property
     def exhausted(self) -> bool:

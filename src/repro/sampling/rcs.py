@@ -18,7 +18,13 @@ import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
-from repro.sampling.base import Estimate, SampleUnit, SamplingDesign
+from repro.sampling.base import (
+    Estimate,
+    PositionUnit,
+    SampleUnit,
+    SamplingDesign,
+    segment_label_sums,
+)
 from repro.stats.running import RunningMean
 
 __all__ = ["RandomClusterDesign"]
@@ -42,11 +48,18 @@ class RandomClusterDesign(SamplingDesign):
     ) -> None:
         self.graph = graph
         self._rng = np.random.default_rng(seed)
-        self._entity_ids = list(graph.entity_ids)
+        self._num_entities = graph.num_entities
+        self._entity_ids_cache: list[str] | None = None
         self._permutation: np.ndarray | None = None
         self._cursor = 0
         self._values = RunningMean()
         self._num_triples = 0
+
+    @property
+    def _entity_ids(self) -> list[str]:
+        if self._entity_ids_cache is None:
+            self._entity_ids_cache = list(self.graph.entity_ids)
+        return self._entity_ids_cache
 
     def reset(self) -> None:
         """Forget the draw order and all accumulated labels."""
@@ -57,7 +70,7 @@ class RandomClusterDesign(SamplingDesign):
 
     def _ensure_permutation(self) -> None:
         if self._permutation is None:
-            self._permutation = self._rng.permutation(len(self._entity_ids))
+            self._permutation = self._rng.permutation(self._num_entities)
             self._cursor = 0
 
     @property
@@ -67,23 +80,47 @@ class RandomClusterDesign(SamplingDesign):
         assert self._permutation is not None
         return self._cursor >= self._permutation.size
 
+    def _next_rows(self, count: int) -> np.ndarray:
+        self._ensure_permutation()
+        assert self._permutation is not None
+        end = min(self._cursor + count, self._permutation.size)
+        rows = self._permutation[self._cursor : end]
+        self._cursor = end
+        return rows
+
     def draw(self, count: int) -> list[SampleUnit]:
         """Draw up to ``count`` previously undrawn clusters uniformly."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        self._ensure_permutation()
-        assert self._permutation is not None
-        end = min(self._cursor + count, self._permutation.size)
-        indices = self._permutation[self._cursor : end]
-        self._cursor = end
+        graph = self.graph
+        entity_ids = self._entity_ids
         units = []
-        for index in indices:
-            cluster = self.graph.cluster(self._entity_ids[int(index)])
+        for row in self._next_rows(count):
+            entity_id = entity_ids[int(row)]
+            positions = graph.cluster_positions(entity_id)
             units.append(
                 SampleUnit(
-                    triples=cluster.triples,
-                    entity_id=cluster.entity_id,
-                    cluster_size=cluster.size,
+                    triples=tuple(graph.triples_at(positions)),
+                    entity_id=entity_id,
+                    cluster_size=int(positions.shape[0]),
+                    positions=positions,
+                )
+            )
+        return units
+
+    def draw_positions(self, count: int) -> list[PositionUnit]:
+        """Draw up to ``count`` undrawn clusters as zero-copy position views."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        graph = self.graph
+        units = []
+        for row in self._next_rows(count):
+            positions = graph.cluster_positions_by_row(int(row))
+            units.append(
+                PositionUnit(
+                    positions=positions,
+                    entity_row=int(row),
+                    cluster_size=int(positions.shape[0]),
                 )
             )
         return units
@@ -94,6 +131,21 @@ class RandomClusterDesign(SamplingDesign):
         scale = self.graph.num_entities / self.graph.num_triples
         self._values.add(scale * num_correct)
         self._num_triples += unit.num_triples
+
+    def update_positions(self, unit: PositionUnit, labels: np.ndarray) -> None:
+        """Position-surface twin of :meth:`update`."""
+        scale = self.graph.num_entities / self.graph.num_triples
+        self._values.add(scale * int(labels.sum()))
+        self._num_triples += int(labels.shape[0])
+
+    def update_all_positions(self, units: list[PositionUnit], label_array: np.ndarray) -> None:
+        """Vectorised batch update: one gather + ``reduceat`` for the whole batch."""
+        if not units:
+            return
+        counts, sums = segment_label_sums(units, label_array)
+        scale = self.graph.num_entities / self.graph.num_triples
+        self._values.add_many(scale * sums)
+        self._num_triples += int(counts.sum())
 
     def estimate(self) -> Estimate:
         """Mean of the per-cluster expansion values with its standard error."""

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
-from repro.sampling.base import Estimate, SampleUnit, SamplingDesign
+from repro.sampling.base import Estimate, PositionUnit, SampleUnit, SamplingDesign
 
 __all__ = ["SimpleRandomDesign"]
 
@@ -68,22 +68,38 @@ class SimpleRandomDesign(SamplingDesign):
         assert self._remaining is not None
         return self._cursor >= self._remaining.size
 
-    def draw(self, count: int) -> list[SampleUnit]:
-        """Draw up to ``count`` previously undrawn triples uniformly at random."""
-        if count < 0:
-            raise ValueError("count must be non-negative")
+    def _next_positions(self, count: int) -> np.ndarray:
         self._ensure_permutation()
         assert self._remaining is not None
         end = min(self._cursor + count, self._remaining.size)
         positions = self._remaining[self._cursor : end]
         self._cursor = end
+        return positions
+
+    def draw(self, count: int) -> list[SampleUnit]:
+        """Draw up to ``count`` previously undrawn triples uniformly at random."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        positions = self._next_positions(count)
+        triples = self.graph.triples_at(positions)
         return [
             SampleUnit(
-                triples=(self.graph.triple_at(int(position)),),
+                triples=(triple,),
                 entity_id=None,
                 cluster_size=1,
+                positions=positions[index : index + 1],
             )
-            for position in positions
+            for index, triple in enumerate(triples)
+        ]
+
+    def draw_positions(self, count: int) -> list[PositionUnit]:
+        """Draw up to ``count`` undrawn triples as single-position units."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        positions = self._next_positions(count)
+        return [
+            PositionUnit(positions=positions[index : index + 1], entity_row=-1, cluster_size=1)
+            for index in range(positions.shape[0])
         ]
 
     def update(self, unit: SampleUnit, labels: dict[Triple, bool]) -> None:
@@ -92,6 +108,19 @@ class SimpleRandomDesign(SamplingDesign):
             self._num_annotated += 1
             if labels[triple]:
                 self._num_correct += 1
+
+    def update_positions(self, unit: PositionUnit, labels: np.ndarray) -> None:
+        """Position-surface twin of :meth:`update`."""
+        self._num_annotated += int(labels.shape[0])
+        self._num_correct += int(labels.sum())
+
+    def update_all_positions(self, units: list[PositionUnit], label_array: np.ndarray) -> None:
+        """Vectorised batch update: one flat gather for the whole batch."""
+        if not units:
+            return
+        flat = np.concatenate([unit.positions for unit in units])
+        self._num_annotated += int(flat.shape[0])
+        self._num_correct += int(label_array[flat].sum())
 
     def estimate(self) -> Estimate:
         """Sample mean with the binomial-proportion standard error (Eq. 5)."""

@@ -27,7 +27,13 @@ import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
-from repro.sampling.base import Estimate, SampleUnit, SamplingDesign
+from repro.sampling.base import (
+    Estimate,
+    PositionUnit,
+    SampleUnit,
+    SamplingDesign,
+    segment_label_sums,
+)
 from repro.stats.running import RunningMean
 
 __all__ = ["TwoStageRandomClusterDesign"]
@@ -61,9 +67,16 @@ class TwoStageRandomClusterDesign(SamplingDesign):
         self.graph = graph
         self.second_stage_size = second_stage_size
         self._rng = np.random.default_rng(seed)
-        self._entity_ids = list(graph.entity_ids)
+        self._sizes = graph.cluster_size_array()
+        self._entity_ids_cache: list[str] | None = None
         self._values = RunningMean()
         self._num_triples = 0
+
+    @property
+    def _entity_ids(self) -> list[str]:
+        if self._entity_ids_cache is None:
+            self._entity_ids_cache = list(self.graph.entity_ids)
+        return self._entity_ids_cache
 
     def reset(self) -> None:
         """Clear the accumulated per-cluster values."""
@@ -74,22 +87,38 @@ class TwoStageRandomClusterDesign(SamplingDesign):
         """Draw ``count`` clusters uniformly (with replacement), ``m``-capped."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        indices = self._rng.integers(0, len(self._entity_ids), size=count)
+        entity_ids = self._entity_ids
+        indices = self._rng.integers(0, len(entity_ids), size=count)
+        graph = self.graph
         units = []
         for index in indices:
-            entity_id = self._entity_ids[int(index)]
-            cluster_size = self.graph.cluster_size(entity_id)
-            triples = self.graph.sample_cluster_triples(
+            entity_id = entity_ids[int(index)]
+            positions = graph.sample_cluster_positions(
                 entity_id, self.second_stage_size, self._rng
             )
             units.append(
                 SampleUnit(
-                    triples=tuple(triples),
+                    triples=tuple(graph.triples_at(positions)),
                     entity_id=entity_id,
-                    cluster_size=cluster_size,
+                    cluster_size=int(self._sizes[index]),
+                    positions=positions,
                 )
             )
         return units
+
+    def draw_positions(self, count: int) -> list[PositionUnit]:
+        """Draw ``count`` uniform clusters as position-only views."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rows = self._rng.integers(0, self._sizes.shape[0], size=count)
+        batches = self.graph.sample_cluster_positions_batch(
+            rows, self.second_stage_size, self._rng
+        )
+        sizes = self._sizes
+        return [
+            PositionUnit(positions=positions, entity_row=int(row), cluster_size=int(sizes[row]))
+            for row, positions in zip(rows, batches)
+        ]
 
     def update(self, unit: SampleUnit, labels: dict[Triple, bool]) -> None:
         """Add the size-reweighted value ``(N / M) * M_i * µ̂_i`` of one cluster."""
@@ -99,6 +128,24 @@ class TwoStageRandomClusterDesign(SamplingDesign):
         scale = self.graph.num_entities / self.graph.num_triples
         self._values.add(scale * unit.cluster_size * within_accuracy)
         self._num_triples += unit.num_triples
+
+    def update_positions(self, unit: PositionUnit, labels: np.ndarray) -> None:
+        """Position-surface twin of :meth:`update`."""
+        scale = self.graph.num_entities / self.graph.num_triples
+        self._values.add(scale * unit.cluster_size * float(labels.mean()))
+        self._num_triples += int(labels.shape[0])
+
+    def update_all_positions(self, units: list[PositionUnit], label_array: np.ndarray) -> None:
+        """Vectorised batch update: one gather + ``reduceat`` for the whole batch."""
+        if not units:
+            return
+        counts, sums = segment_label_sums(units, label_array)
+        sizes = np.fromiter(
+            (unit.cluster_size for unit in units), dtype=np.float64, count=len(units)
+        )
+        scale = self.graph.num_entities / self.graph.num_triples
+        self._values.add_many(scale * sizes * (sums / counts))
+        self._num_triples += int(counts.sum())
 
     def estimate(self) -> Estimate:
         """Mean of the re-weighted per-cluster values with its standard error."""

@@ -24,7 +24,13 @@ import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
-from repro.sampling.base import Estimate, SampleUnit, SamplingDesign
+from repro.sampling.base import (
+    Estimate,
+    PositionUnit,
+    SampleUnit,
+    SamplingDesign,
+    segment_label_sums,
+)
 from repro.stats.running import RunningMean
 
 __all__ = ["TwoStageWeightedClusterDesign"]
@@ -61,11 +67,20 @@ class TwoStageWeightedClusterDesign(SamplingDesign):
         self.graph = graph
         self.second_stage_size = second_stage_size
         self._rng = np.random.default_rng(seed)
-        self._entity_ids = list(graph.entity_ids)
-        sizes = graph.cluster_size_array().astype(float)
+        self._sizes = graph.cluster_size_array()
+        sizes = self._sizes.astype(float)
         self._weights = sizes / sizes.sum()
+        #: entity-id strings are only needed by the object draw surface;
+        #: materialised lazily so position-only runs never pay for them.
+        self._entity_ids_cache: list[str] | None = None
         self._cluster_means = RunningMean()
         self._num_triples = 0
+
+    @property
+    def _entity_ids(self) -> list[str]:
+        if self._entity_ids_cache is None:
+            self._entity_ids_cache = list(self.graph.entity_ids)
+        return self._entity_ids_cache
 
     def reset(self) -> None:
         """Clear the accumulated within-cluster sample accuracies."""
@@ -76,30 +91,61 @@ class TwoStageWeightedClusterDesign(SamplingDesign):
         """Draw ``count`` cluster units, each carrying at most ``m`` triples."""
         if count < 0:
             raise ValueError("count must be non-negative")
+        entity_ids = self._entity_ids
         indices = self._rng.choice(
-            len(self._entity_ids), size=count, replace=True, p=self._weights
+            len(entity_ids), size=count, replace=True, p=self._weights
         )
+        graph = self.graph
         units = []
         for index in indices:
-            entity_id = self._entity_ids[int(index)]
-            cluster_size = self.graph.cluster_size(entity_id)
-            triples = self.graph.sample_cluster_triples(
+            entity_id = entity_ids[int(index)]
+            positions = graph.sample_cluster_positions(
                 entity_id, self.second_stage_size, self._rng
             )
             units.append(
                 SampleUnit(
-                    triples=tuple(triples),
+                    triples=tuple(graph.triples_at(positions)),
                     entity_id=entity_id,
-                    cluster_size=cluster_size,
+                    cluster_size=int(self._sizes[index]),
+                    positions=positions,
                 )
             )
         return units
+
+    def draw_positions(self, count: int) -> list[PositionUnit]:
+        """Draw ``count`` cluster units as position-only views (no Triples)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rows = self._rng.choice(
+            self._sizes.shape[0], size=count, replace=True, p=self._weights
+        )
+        batches = self.graph.sample_cluster_positions_batch(
+            rows, self.second_stage_size, self._rng
+        )
+        sizes = self._sizes
+        return [
+            PositionUnit(positions=positions, entity_row=int(row), cluster_size=int(sizes[row]))
+            for row, positions in zip(rows, batches)
+        ]
 
     def update(self, unit: SampleUnit, labels: dict[Triple, bool]) -> None:
         """Add one cluster's within-sample accuracy ``µ̂_{I_k}`` to the mean."""
         num_correct = sum(1 for triple in unit.triples if labels[triple])
         self._cluster_means.add(num_correct / unit.num_triples)
         self._num_triples += unit.num_triples
+
+    def update_positions(self, unit: PositionUnit, labels: np.ndarray) -> None:
+        """Position-surface twin of :meth:`update` (labels as a boolean array)."""
+        self._cluster_means.add(float(labels.mean()))
+        self._num_triples += int(labels.shape[0])
+
+    def update_all_positions(self, units: list[PositionUnit], label_array: np.ndarray) -> None:
+        """Vectorised batch update: one gather + ``reduceat`` for the whole batch."""
+        if not units:
+            return
+        counts, sums = segment_label_sums(units, label_array)
+        self._cluster_means.add_many(sums / counts)
+        self._num_triples += int(counts.sum())
 
     def estimate(self) -> Estimate:
         """Eq. (9): mean of within-cluster accuracies with its standard error."""

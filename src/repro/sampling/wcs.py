@@ -17,7 +17,13 @@ import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
-from repro.sampling.base import Estimate, SampleUnit, SamplingDesign
+from repro.sampling.base import (
+    Estimate,
+    PositionUnit,
+    SampleUnit,
+    SamplingDesign,
+    segment_label_sums,
+)
 from repro.stats.running import RunningMean
 
 __all__ = ["WeightedClusterDesign"]
@@ -43,11 +49,18 @@ class WeightedClusterDesign(SamplingDesign):
             raise ValueError("cannot sample from an empty knowledge graph")
         self.graph = graph
         self._rng = np.random.default_rng(seed)
-        self._entity_ids = list(graph.entity_ids)
-        sizes = graph.cluster_size_array().astype(float)
+        self._sizes = graph.cluster_size_array()
+        sizes = self._sizes.astype(float)
         self._weights = sizes / sizes.sum()
+        self._entity_ids_cache: list[str] | None = None
         self._values = RunningMean()
         self._num_triples = 0
+
+    @property
+    def _entity_ids(self) -> list[str]:
+        if self._entity_ids_cache is None:
+            self._entity_ids_cache = list(self.graph.entity_ids)
+        return self._entity_ids_cache
 
     def reset(self) -> None:
         """Clear the accumulated cluster accuracies."""
@@ -55,29 +68,61 @@ class WeightedClusterDesign(SamplingDesign):
         self._num_triples = 0
 
     def _draw_cluster_indices(self, count: int) -> np.ndarray:
-        return self._rng.choice(len(self._entity_ids), size=count, replace=True, p=self._weights)
+        return self._rng.choice(self._sizes.shape[0], size=count, replace=True, p=self._weights)
 
     def draw(self, count: int) -> list[SampleUnit]:
         """Draw ``count`` clusters with probability proportional to size."""
         if count < 0:
             raise ValueError("count must be non-negative")
+        graph = self.graph
+        entity_ids = self._entity_ids
         units = []
         for index in self._draw_cluster_indices(count):
-            cluster = self.graph.cluster(self._entity_ids[int(index)])
+            entity_id = entity_ids[int(index)]
+            positions = graph.cluster_positions(entity_id)
             units.append(
                 SampleUnit(
-                    triples=cluster.triples,
-                    entity_id=cluster.entity_id,
-                    cluster_size=cluster.size,
+                    triples=tuple(graph.triples_at(positions)),
+                    entity_id=entity_id,
+                    cluster_size=int(self._sizes[index]),
+                    positions=positions,
                 )
             )
         return units
+
+    def draw_positions(self, count: int) -> list[PositionUnit]:
+        """Draw ``count`` whole clusters as zero-copy position views."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        graph = self.graph
+        sizes = self._sizes
+        return [
+            PositionUnit(
+                positions=graph.cluster_positions_by_row(int(row)),
+                entity_row=int(row),
+                cluster_size=int(sizes[row]),
+            )
+            for row in self._draw_cluster_indices(count)
+        ]
 
     def update(self, unit: SampleUnit, labels: dict[Triple, bool]) -> None:
         """Add one sampled cluster's accuracy to the Hansen–Hurwitz mean."""
         num_correct = sum(1 for triple in unit.triples if labels[triple])
         self._values.add(num_correct / unit.num_triples)
         self._num_triples += unit.num_triples
+
+    def update_positions(self, unit: PositionUnit, labels: np.ndarray) -> None:
+        """Position-surface twin of :meth:`update`."""
+        self._values.add(float(labels.mean()))
+        self._num_triples += int(labels.shape[0])
+
+    def update_all_positions(self, units: list[PositionUnit], label_array: np.ndarray) -> None:
+        """Vectorised batch update: one gather + ``reduceat`` for the whole batch."""
+        if not units:
+            return
+        counts, sums = segment_label_sums(units, label_array)
+        self._values.add_many(sums / counts)
+        self._num_triples += int(counts.sum())
 
     def estimate(self) -> Estimate:
         """Mean of sampled cluster accuracies with its standard error."""

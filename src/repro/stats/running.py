@@ -37,6 +37,25 @@ class RunningMean:
         for value in values:
             self.add(value)
 
+    def add_many(self, values) -> None:
+        """Add a batch of observations in one vectorised step.
+
+        Computes the batch moments with NumPy and folds them in through
+        :meth:`merge`, so cost is one pass over the array instead of one
+        Python-level :meth:`add` per value.  (Floating-point rounding may
+        differ from sequential adds at the last few ulps.)
+        """
+        import numpy as np
+
+        array = np.asarray(values, dtype=np.float64)
+        if array.size == 0:
+            return
+        batch = RunningMean()
+        batch._count = int(array.size)
+        batch._mean = float(array.mean())
+        batch._m2 = float(((array - batch._mean) ** 2).sum())
+        self.merge(batch)
+
     def merge(self, other: "RunningMean") -> None:
         """Merge another accumulator into this one (parallel Welford merge)."""
         if other._count == 0:

@@ -1,0 +1,34 @@
+"""Pluggable physical storage for knowledge graphs.
+
+:class:`~repro.kg.graph.KnowledgeGraph` delegates all triple/cluster storage
+to a :class:`~repro.storage.backend.StorageBackend`:
+
+* :class:`InMemoryStore` (default) — Python objects, O(1) incremental adds;
+  behaviour-identical to the original seed representation.
+* :class:`ColumnarStore` — interned ``int32`` NumPy columns with a CSR
+  cluster index: O(1) cluster sizes, zero-copy per-cluster position slices,
+  vectorised deduplication, and million-triple scale.
+* :class:`SnapshotStore` — persists columnar graphs to ``.npz`` archives or
+  memory-mappable snapshot directories, so big KGs are built once and
+  reopened instantly.
+* :mod:`repro.storage.ingest` — streaming TSV / N-Triples ingest that
+  interns ids on the fly without materialising intermediate Triple lists.
+"""
+
+from repro.storage.backend import StorageBackend, make_backend
+from repro.storage.columnar import ColumnarStore, Vocabulary
+from repro.storage.ingest import ingest_nt, ingest_rows, ingest_tsv
+from repro.storage.memory import InMemoryStore
+from repro.storage.snapshot import SnapshotStore
+
+__all__ = [
+    "StorageBackend",
+    "make_backend",
+    "InMemoryStore",
+    "ColumnarStore",
+    "Vocabulary",
+    "SnapshotStore",
+    "ingest_tsv",
+    "ingest_nt",
+    "ingest_rows",
+]

@@ -1,0 +1,102 @@
+"""Streaming ingest of triple files straight into columnar storage.
+
+The plain-text loaders in :mod:`repro.kg.io` build one
+:class:`~repro.kg.triple.Triple` object per line and route it through
+``KnowledgeGraph.add``.  That is fine at thousands of triples but wasteful at
+millions: every line allocates a Triple, a key tuple and set/dict entries
+that the columnar backend immediately re-encodes.
+
+The functions here instead intern each field *as the line is read* and append
+the ids directly to the store's growable buffers — no intermediate Triple
+list ever exists.  Duplicate lines are removed vectorised at
+:meth:`~repro.storage.columnar.ColumnarStore.finalize` time (first occurrence
+wins), matching the graph-as-set semantics of the ``add`` path exactly.
+
+Supported formats:
+
+* **Triple TSV** — ``subject<TAB>predicate<TAB>object`` with optional extra
+  columns (ignored); blank lines and ``#`` comments skipped.
+* **N-Triples (subset)** — ``<s> <p> <o> .`` / ``<s> <p> "literal" .`` lines.
+  IRIs are stripped of their angle brackets; an object in angle brackets is
+  recorded as an entity object.  Full Turtle (prefixes, bnodes, datatype
+  tags with embedded spaces) is out of scope.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.storage.columnar import ColumnarStore
+
+__all__ = ["ingest_tsv", "ingest_nt", "ingest_rows", "iter_tsv_rows", "iter_nt_rows"]
+
+#: One parsed statement: (subject, predicate, object, object-is-entity).
+Row = tuple[str, str, str, bool]
+
+
+def iter_tsv_rows(path: str | Path) -> Iterator[Row]:
+    """Stream ``(s, p, o, is_entity_object)`` rows from a triple TSV file.
+
+    Shares the line filter of :mod:`repro.kg.io` so the streaming and
+    object-based TSV loaders accept byte-identical inputs.
+    """
+    from repro.kg.io import _iter_data_lines
+
+    for line_number, line in _iter_data_lines(Path(path)):
+        fields = line.split("\t")
+        if len(fields) < 3:
+            raise ValueError(f"line {line_number}: expected 3 columns, got {len(fields)}")
+        yield fields[0], fields[1], fields[2], False
+
+
+def _strip_term(term: str) -> tuple[str, bool]:
+    if term.startswith("<") and term.endswith(">"):
+        return term[1:-1], True
+    if term.startswith('"') and term.endswith('"'):
+        return term[1:-1], False
+    return term, False
+
+
+def iter_nt_rows(path: str | Path) -> Iterator[Row]:
+    """Stream rows from an N-Triples file (``<s> <p> <o|"literal"> .``)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.endswith("."):
+                line = line[:-1].rstrip()
+            parts = line.split(None, 2)
+            if len(parts) != 3:
+                raise ValueError(f"line {line_number}: expected '<s> <p> <o> .'")
+            subject, _ = _strip_term(parts[0])
+            predicate, _ = _strip_term(parts[1])
+            obj, is_entity = _strip_term(parts[2])
+            yield subject, predicate, obj, is_entity
+
+
+def ingest_rows(rows: Iterable[Row], name: str = "kg"):
+    """Build a columnar-backed graph from parsed rows, deduplicating at the end."""
+    from repro.kg.graph import KnowledgeGraph
+
+    store = ColumnarStore()
+    intern = store.vocab.intern
+    append = store.append_interned
+    for subject, predicate, obj, is_entity_object in rows:
+        append(intern(subject), intern(predicate), intern(obj), is_entity_object)
+    store.finalize(dedupe=True)
+    return KnowledgeGraph(name=name, backend=store)
+
+
+def ingest_tsv(path: str | Path, name: str | None = None):
+    """Stream a triple TSV file into a columnar-backed knowledge graph."""
+    path = Path(path)
+    return ingest_rows(iter_tsv_rows(path), name=name if name is not None else path.stem)
+
+
+def ingest_nt(path: str | Path, name: str | None = None):
+    """Stream an N-Triples file into a columnar-backed knowledge graph."""
+    path = Path(path)
+    return ingest_rows(iter_nt_rows(path), name=name if name is not None else path.stem)

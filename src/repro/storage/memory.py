@@ -1,0 +1,124 @@
+"""Object-based storage backend — the behaviour-compatible default.
+
+This is the seed representation of :class:`~repro.kg.graph.KnowledgeGraph`
+factored out behind the :class:`~repro.storage.backend.StorageBackend`
+contract: a Python list of :class:`~repro.kg.triple.Triple` objects, a set of
+``(s, p, o)`` tuples for O(1) dedup/membership, and a dict mapping each
+subject id to the list of its triple positions.
+
+It favours cheap incremental mutation (``add`` is O(1) with no rebuild step),
+at the price of per-object memory overhead; for bulk-loaded, million-triple
+graphs use :class:`~repro.storage.columnar.ColumnarStore` instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.kg.triple import Triple
+from repro.storage.backend import StorageBackend
+
+__all__ = ["InMemoryStore"]
+
+
+class InMemoryStore(StorageBackend):
+    """Triples as Python objects with a dict-of-lists cluster index."""
+
+    def __init__(self) -> None:
+        self._triples: list[Triple] = []
+        self._triple_set: set[tuple[str, str, str]] = set()
+        self._cluster_index: dict[str, list[int]] = {}
+        #: entity id -> row, built lazily (only the row-keyed API needs it).
+        self._row_of: dict[str, int] | None = None
+        self._rows: list[str] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, triple: Triple) -> bool:
+        key = triple.as_tuple()
+        if key in self._triple_set:
+            return False
+        self._triple_set.add(key)
+        position = len(self._triples)
+        self._triples.append(triple)
+        positions = self._cluster_index.get(triple.subject)
+        if positions is None:
+            self._cluster_index[triple.subject] = [position]
+            if self._row_of is not None and self._rows is not None:
+                self._row_of[triple.subject] = len(self._rows)
+                self._rows.append(triple.subject)
+        else:
+            positions.append(position)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Size / membership
+    # ------------------------------------------------------------------ #
+    @property
+    def num_triples(self) -> int:
+        return len(self._triples)
+
+    @property
+    def num_entities(self) -> int:
+        return len(self._cluster_index)
+
+    def contains(self, triple: Triple) -> bool:
+        return triple.as_tuple() in self._triple_set
+
+    # ------------------------------------------------------------------ #
+    # Positional triple access
+    # ------------------------------------------------------------------ #
+    def triple_at(self, position: int) -> Triple:
+        return self._triples[position]
+
+    def triples_at(self, positions: Sequence[int] | np.ndarray) -> list[Triple]:
+        triples = self._triples
+        return [triples[int(position)] for position in positions]
+
+    def iter_triples(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    # ------------------------------------------------------------------ #
+    # Cluster access — entity-id keyed
+    # ------------------------------------------------------------------ #
+    def entity_ids(self) -> Sequence[str]:
+        return tuple(self._cluster_index.keys())
+
+    def has_entity(self, entity_id: str) -> bool:
+        return entity_id in self._cluster_index
+
+    def cluster_positions(self, entity_id: str) -> np.ndarray:
+        return np.asarray(self._cluster_index[entity_id], dtype=np.int64)
+
+    def cluster_size(self, entity_id: str) -> int:
+        return len(self._cluster_index[entity_id])
+
+    # ------------------------------------------------------------------ #
+    # Cluster access — row keyed
+    # ------------------------------------------------------------------ #
+    def _ensure_rows(self) -> tuple[dict[str, int], list[str]]:
+        if self._row_of is None or self._rows is None:
+            self._rows = list(self._cluster_index.keys())
+            self._row_of = {entity: row for row, entity in enumerate(self._rows)}
+        return self._row_of, self._rows
+
+    def entity_row(self, entity_id: str) -> int:
+        row_of, _ = self._ensure_rows()
+        return row_of[entity_id]
+
+    def entity_id_of_row(self, row: int) -> str:
+        _, rows = self._ensure_rows()
+        return rows[row]
+
+    def cluster_positions_by_row(self, row: int) -> np.ndarray:
+        return self.cluster_positions(self.entity_id_of_row(row))
+
+    def cluster_size_array(self) -> np.ndarray:
+        return np.fromiter(
+            (len(p) for p in self._cluster_index.values()),
+            dtype=np.int64,
+            count=len(self._cluster_index),
+        )

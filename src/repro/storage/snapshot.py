@@ -1,0 +1,162 @@
+"""Persistent snapshots of columnar knowledge graphs.
+
+A snapshot stores the interned columns, the vocabulary and the CSR cluster
+index, so a big (synthetic or ingested) KG is built once and reopened in
+milliseconds thereafter.  Two on-disk layouts are supported, chosen by the
+target path:
+
+* ``*.npz`` — a single NumPy archive (``np.savez`` /
+  ``np.savez_compressed``).  Compact and portable; arrays are read into
+  memory on load.
+* any other path — a *snapshot directory* holding one ``.npy`` file per
+  column.  Loading with ``mmap=True`` memory-maps every column
+  (``np.load(..., mmap_mode="r")``), so the resident footprint of a loaded
+  graph is only the pages the sampler actually touches.
+
+Array names (both layouts, ``format_version`` 1):
+
+==================  ======================================================
+``subjects``        ``int32 (M,)`` interned subject ids
+``predicates``      ``int32 (M,)`` interned predicate ids
+``objects``         ``int32 (M,)`` interned object ids
+``entity_flags``    ``bool  (M,)`` object-is-entity flags
+``vocab``           ``str_  (V,)`` id -> string table
+``cluster_offsets``   ``int64 (N+1,)`` CSR offsets in row order
+``cluster_positions`` ``int32 (M,)`` CSR triple positions
+``row_subjects``    ``int32 (N,)`` row -> subject vocab id
+``meta``            ``str_ (2,)`` graph name, format version
+==================  ======================================================
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.storage.columnar import ColumnarStore, Vocabulary
+
+__all__ = ["SnapshotStore"]
+
+_FORMAT_VERSION = 1
+_ARRAY_NAMES = (
+    "subjects",
+    "predicates",
+    "objects",
+    "entity_flags",
+    "vocab",
+    "cluster_offsets",
+    "cluster_positions",
+    "row_subjects",
+)
+
+
+class SnapshotStore:
+    """Save/load a :class:`~repro.storage.columnar.ColumnarStore` on disk.
+
+    Parameters
+    ----------
+    path:
+        Target location.  A ``.npz`` suffix selects the single-file archive
+        layout; anything else is treated as a snapshot directory (created on
+        save) whose columns can be memory-mapped on load.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    @property
+    def is_archive(self) -> bool:
+        """Whether this snapshot uses the single-file ``.npz`` layout."""
+        return self.path.suffix == ".npz"
+
+    def exists(self) -> bool:
+        """Whether a snapshot is already present at the target path."""
+        if self.is_archive:
+            return self.path.is_file()
+        return (self.path / "subjects.npy").is_file()
+
+    # ------------------------------------------------------------------ #
+    # Save
+    # ------------------------------------------------------------------ #
+    def save(self, source, name: str | None = None, compress: bool = False) -> Path:
+        """Persist ``source`` (a ``ColumnarStore`` or ``KnowledgeGraph``).
+
+        Graphs on a non-columnar backend are converted on the fly.  Returns
+        the path written.  ``compress`` only applies to the ``.npz`` layout.
+        """
+        store, graph_name = _as_store(source)
+        arrays = dict(store.columns())
+        arrays["meta"] = np.asarray(
+            [name if name is not None else graph_name, str(_FORMAT_VERSION)], dtype=np.str_
+        )
+        if self.is_archive:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            writer = np.savez_compressed if compress else np.savez
+            writer(self.path, **arrays)
+        else:
+            self.path.mkdir(parents=True, exist_ok=True)
+            for array_name, array in arrays.items():
+                np.save(self.path / f"{array_name}.npy", array)
+        return self.path
+
+    # ------------------------------------------------------------------ #
+    # Load
+    # ------------------------------------------------------------------ #
+    def load(self, mmap: bool = False) -> tuple[ColumnarStore, str]:
+        """Reopen the snapshot; return ``(store, graph_name)``.
+
+        ``mmap=True`` memory-maps the columns and is only available for the
+        directory layout; the vocabulary stays a fixed-width unicode array on
+        disk, so no per-string Python objects are created until strings are
+        actually requested.
+        """
+        if not self.exists():
+            raise FileNotFoundError(f"no snapshot at {self.path}")
+        if self.is_archive:
+            if mmap:
+                raise ValueError(
+                    ".npz archives cannot be memory-mapped; save the snapshot "
+                    "to a directory path (no .npz suffix) to use mmap=True"
+                )
+            with np.load(self.path, allow_pickle=False) as archive:
+                arrays = {array_name: archive[array_name] for array_name in _ARRAY_NAMES}
+                meta = archive["meta"]
+        else:
+            mode = "r" if mmap else None
+            arrays = {
+                array_name: np.load(self.path / f"{array_name}.npy", mmap_mode=mode)
+                for array_name in _ARRAY_NAMES
+            }
+            meta = np.load(self.path / "meta.npy")
+        version = int(str(meta[1]))
+        if version > _FORMAT_VERSION:
+            raise ValueError(f"snapshot format v{version} is newer than supported v{_FORMAT_VERSION}")
+        store = ColumnarStore.from_arrays(
+            Vocabulary(arrays["vocab"]),
+            arrays["subjects"],
+            arrays["predicates"],
+            arrays["objects"],
+            flags=arrays["entity_flags"],
+            offsets=arrays["cluster_offsets"],
+            positions=arrays["cluster_positions"],
+            row_subjects=arrays["row_subjects"],
+        )
+        return store, str(meta[0])
+
+    def load_graph(self, mmap: bool = False, name: str | None = None):
+        """Reopen the snapshot as a :class:`~repro.kg.graph.KnowledgeGraph`."""
+        from repro.kg.graph import KnowledgeGraph
+
+        store, graph_name = self.load(mmap=mmap)
+        return KnowledgeGraph(name=name if name is not None else graph_name, backend=store)
+
+
+def _as_store(source) -> tuple[ColumnarStore, str]:
+    if isinstance(source, ColumnarStore):
+        return source, "kg"
+    backend = getattr(source, "backend", None)
+    if isinstance(backend, ColumnarStore):
+        return backend, source.name
+    name = getattr(source, "name", "kg")
+    return ColumnarStore.from_graph(iter(source)), name

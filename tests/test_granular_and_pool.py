@@ -118,6 +118,25 @@ class TestNoisyAnnotator:
         clean.annotate_triples(list(graph))
         assert noisy.total_cost_seconds == pytest.approx(clean.total_cost_seconds)
 
+    def test_label_and_cost_streams_are_independent(self, toy_oracle):
+        """The same seed must spawn distinct child streams for label flips and
+        timing noise (regression: both RNGs used to be seeded identically,
+        silently correlating label errors with annotation cost)."""
+        annotator = NoisyAnnotator(toy_oracle, label_error_rate=0.3, seed=123)
+        assert not np.allclose(annotator._rng.random(8), annotator._label_rng.random(8))
+
+    def test_label_flips_reproducible_under_fixed_seed(self, nell):
+        triples = list(nell.graph)[:200]
+        first = NoisyAnnotator(nell.oracle, label_error_rate=0.3, seed=7).annotate_triples(triples)
+        second = NoisyAnnotator(nell.oracle, label_error_rate=0.3, seed=7).annotate_triples(triples)
+        assert first.labels == second.labels
+
+    def test_generator_seed_still_supported(self, toy_oracle):
+        rng = np.random.default_rng(0)
+        annotator = NoisyAnnotator(toy_oracle, label_error_rate=0.2, seed=rng)
+        assert annotator._rng is rng
+        assert annotator._label_rng is not rng
+
 
 class TestAnnotationTaskPool:
     def test_validation(self, toy_oracle):
