@@ -60,10 +60,12 @@ def test_ablation_allocation_rule(benchmark):
     emit(
         "Ablation: batch allocation across strata (proportional vs Neyman)",
         format_table(rows)
-        + "\nexpected shape: both rules meet the 5% MoE with unbiased estimates; Neyman allocation"
-        + "\n                matches or modestly improves the annotation cost when strata spreads differ",
+        + "\nexpected shape: both rules meet the 5% MoE with unbiased estimates; Neyman"
+        + "\n                allocation matches or modestly improves the annotation cost"
+        + "\n                when strata spreads differ",
     )
     by_rule = {row["allocation"]: row for row in rows}
-    assert by_rule["neyman"]["annotation_hours"] <= by_rule["proportional"]["annotation_hours"] * 1.3
+    neyman_hours = by_rule["neyman"]["annotation_hours"]
+    assert neyman_hours <= by_rule["proportional"]["annotation_hours"] * 1.3
     for row in rows:
         assert abs(row["accuracy_estimate"] - rows[0]["accuracy_estimate"]) < 0.08

@@ -69,7 +69,9 @@ def test_ablation_tsrcs_vs_twcs(benchmark):
         + "\n                confirming the paper's reason for omitting TSRCS",
     )
     for dataset in {row["dataset"] for row in rows}:
-        subset = {row["design"]: row["annotation_hours"] for row in rows if row["dataset"] == dataset}
-        assert (
-            subset["TWCS (weighted 1st stage)"] < subset["TSRCS (uniform 1st stage)"]
-        )
+        subset = {
+            row["design"]: row["annotation_hours"]
+            for row in rows
+            if row["dataset"] == dataset
+        }
+        assert subset["TWCS (weighted 1st stage)"] < subset["TSRCS (uniform 1st stage)"]

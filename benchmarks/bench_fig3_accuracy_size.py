@@ -39,6 +39,7 @@ def test_figure3_accuracy_vs_size(benchmark):
     emit(
         "Figure 3: entity accuracy vs cluster size",
         format_table(rows)
-        + "\nexpected shape: mean entity accuracy increases with cluster size (positive correlation)",
+        + "\nexpected shape: mean entity accuracy increases with cluster size"
+        + " (positive correlation)",
     )
     assert result["NELL"]["correlation"] > 0

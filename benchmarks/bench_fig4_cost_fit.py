@@ -17,9 +17,7 @@ def test_figure4_cost_fit(benchmark):
             "observed_minutes": obs.observed_seconds / 60,
             "fitted_minutes": predicted / 60,
         }
-        for index, (obs, predicted) in enumerate(
-            zip(result.observations, result.predicted_seconds)
-        )
+        for index, (obs, predicted) in enumerate(zip(result.observations, result.predicted_seconds))
     ]
     emit(
         "Figure 4: cost-function fit",

@@ -16,7 +16,8 @@ def test_figure5_confidence_sweep(benchmark):
         movie_scale=movie_scale(),
     )
     emit(
-        "Figure 5: sample size / evaluation time vs confidence level (paper: TWCS up to ~20% cheaper)",
+        "Figure 5: sample size / evaluation time vs confidence level "
+        "(paper: TWCS up to ~20% cheaper)",
         format_table(
             rows,
             columns=[
@@ -30,7 +31,8 @@ def test_figure5_confidence_sweep(benchmark):
                 "cost_reduction_vs_srs",
             ],
         )
-        + "\nexpected shape: TWCS identifies fewer entities than SRS; positive cost reduction on MOVIE/NELL,"
+        + "\nexpected shape: TWCS identifies fewer entities than SRS;"
+        + " positive cost reduction on MOVIE/NELL,"
         + "\n                near-zero (possibly negative) reduction on the highly accurate YAGO",
     )
     movie_twcs = [

@@ -35,6 +35,7 @@ def test_figure6_optimal_m(benchmark):
         + "\n"
         + format_table(optima, columns=["dataset", "m", "theoretical_cost_upper_hours"],
                        title="Optimal m per dataset (minimiser of Eq. 12)")
-        + "\nexpected shape: cluster draws fall sharply from m=1 then plateau; cost is U-shaped (or flat for NELL)",
+        + "\nexpected shape: cluster draws fall sharply from m=1 then plateau;"
+        + " cost is U-shaped (or flat for NELL)",
     )
     assert all(1 <= row["m"] <= 10 for row in optima)

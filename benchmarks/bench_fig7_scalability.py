@@ -15,7 +15,8 @@ def test_figure7_scalability(benchmark):
         seed=0,
     )
     emit(
-        "Figure 7: TWCS scalability (paper sweeps 26M-130M triples; here a 1/1000-scale sweep with the same 1x..8x progression)",
+        "Figure 7: TWCS scalability (paper sweeps 26M-130M triples; "
+        "here a 1/1000-scale sweep with the same 1x..8x progression)",
         format_table(
             result["varying_size"],
             columns=["num_triples_in_kg", "accuracy", "annotation_hours", "annotation_hours_std"],

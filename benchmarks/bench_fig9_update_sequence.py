@@ -42,12 +42,16 @@ def test_figure9_update_sequence(benchmark):
                 }
             )
     emit(
-        "Figure 9: sequence of updates (paper: both unbiased on average; RS recovers faster from a bad start)",
+        "Figure 9: sequence of updates "
+        "(paper: both unbiased on average; RS recovers faster from a bad start)",
         format_table(rows, title="Figure 9-1: mean trajectory across trials")
         + "\n"
-        + format_table(recovery_rows, title="Figures 9-2/9-3: recovery from an unlucky initial estimate")
+        + format_table(
+            recovery_rows, title="Figures 9-2/9-3: recovery from an unlucky initial estimate"
+        )
         + "\nexpected shape: mean estimates hug the ground truth for both methods;"
-        + "\n                in the unlucky runs RS's error shrinks over the sequence faster than SS's",
+        + "\n                in the unlucky runs RS's error shrinks over the sequence"
+        + " faster than SS's",
     )
     for trajectory in result["mean"].values():
         final_gap = abs(

@@ -22,7 +22,9 @@ surface, fixed seed) returns the identical estimate on both backends.
 
 Environment knobs: ``REPRO_BENCH_STORAGE_TRIPLES`` (default 1_000_000)
 scales the KG; ``REPRO_BENCH_STORAGE_DRAWS`` (default 50_000) scales the
-timed draw loop.
+timed draw loop.  Below 1M triples (e.g. the CI benchmark-smoke job at ~50k)
+the speed/memory thresholds are not enforced — estimate parity always is.
+Set ``REPRO_BENCH_RESULTS_DIR`` to dump the raw numbers as JSON.
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 # --------------------------------------------------------------------------- #
 _TARGET_TRIPLES = int(os.environ.get("REPRO_BENCH_STORAGE_TRIPLES", 1_000_000))
 _TARGET_DRAWS = int(os.environ.get("REPRO_BENCH_STORAGE_DRAWS", 50_000))
+_FULL_SCALE = 1_000_000
 _MEAN_CLUSTER_SIZE = 9.0
 _GRAPH_SEED = 0
 _LABEL_SEED = 1
@@ -92,7 +95,9 @@ def _worker_seed() -> dict:
     label_values = np.random.default_rng(_LABEL_SEED).random(graph.num_triples) < _ACCURACY
     labels = {triple: bool(value) for triple, value in zip(graph, label_values)}
 
-    design = TwoStageWeightedClusterDesign(graph, second_stage_size=_SECOND_STAGE, seed=_DESIGN_SEED)
+    design = TwoStageWeightedClusterDesign(
+        graph, second_stage_size=_SECOND_STAGE, seed=_DESIGN_SEED
+    )
     design.update_all(design.draw(_BATCH), labels)  # warm-up
     design.reset()
     drawn = 0
@@ -142,7 +147,9 @@ def _worker_columnar(snapshot_path: str) -> dict:
     rss_before = _rss_kb()
     started = time.perf_counter()
     graph = KnowledgeGraph.from_snapshot(snapshot_path, mmap=True)
-    design = TwoStageWeightedClusterDesign(graph, second_stage_size=_SECOND_STAGE, seed=_DESIGN_SEED)
+    design = TwoStageWeightedClusterDesign(
+        graph, second_stage_size=_SECOND_STAGE, seed=_DESIGN_SEED
+    )
     load_seconds = time.perf_counter() - started
     graph_rss_kb = _rss_kb() - rss_before
 
@@ -201,12 +208,18 @@ def test_storage_backend_draw_loop_and_memory(benchmark, tmp_path):
         return build, seed, columnar
 
     build, seed, columnar = run_once(benchmark, run_comparison)
+    results_dir = os.environ.get("REPRO_BENCH_RESULTS_DIR")
+    if results_dir:
+        Path(results_dir).mkdir(parents=True, exist_ok=True)
+        with open(Path(results_dir) / "bench_storage_backend.json", "w", encoding="utf-8") as f:
+            json.dump({"build": build, "seed": seed, "columnar": columnar}, f, indent=2)
     speedup = columnar["draws_per_second"] / seed["draws_per_second"]
     memory_ratio = seed["graph_rss_kb"] / max(1, columnar["graph_rss_kb"])
     loop_memory_ratio = seed["graph_rss_kb"] / max(1, columnar["rss_after_loop_kb"])
     emit(
         "Storage backend: columnar + mmap snapshot vs seed in-memory graph "
-        f"({seed['num_triples']:,} triples, {seed['num_entities']:,} entities, TWCS m={_SECOND_STAGE})",
+        f"({seed['num_triples']:,} triples, {seed['num_entities']:,} entities, "
+        f"TWCS m={_SECOND_STAGE})",
         "\n".join(
             [
                 f"{'':28}{'seed (memory)':>16}{'columnar':>16}{'ratio':>9}",
@@ -226,10 +239,13 @@ def test_storage_backend_draw_loop_and_memory(benchmark, tmp_path):
             ]
         ),
     )
-    assert seed["num_triples"] >= _TARGET_TRIPLES, "KG must be >=1M triples for the headline claim"
+    assert seed["num_triples"] >= _TARGET_TRIPLES, "realised KG smaller than requested"
     assert seed["num_triples"] == columnar["num_triples"] == build["num_triples"]
-    assert speedup >= 5.0, f"draw-loop speedup {speedup:.1f}x below the 5x target"
-    assert memory_ratio >= 3.0, f"resident-memory ratio {memory_ratio:.1f}x below the 3x target"
+    if seed["num_triples"] >= _FULL_SCALE:
+        # The headline thresholds hold at the 1M-triple scale they were
+        # claimed at; reduced-scale smoke runs only check correctness.
+        assert speedup >= 5.0, f"draw-loop speedup {speedup:.1f}x below the 5x target"
+        assert memory_ratio >= 3.0, f"resident-memory ratio {memory_ratio:.1f}x below the 3x target"
     # Both loops estimate the same population quantity from 50k cluster draws.
     assert abs(seed["estimate"] - _ACCURACY) < 0.01
     assert abs(columnar["estimate"] - _ACCURACY) < 0.01
@@ -262,7 +278,8 @@ def test_twcs_estimate_identical_across_backends(benchmark):
         "TWCS evaluation parity across storage backends (MOVIE-like, seed 17)",
         f"memory  : accuracy={memory_report.accuracy:.6f} moe={memory_report.margin_of_error:.6f} "
         f"triples={memory_report.num_triples_annotated}\n"
-        f"columnar: accuracy={columnar_report.accuracy:.6f} moe={columnar_report.margin_of_error:.6f} "
+        f"columnar: accuracy={columnar_report.accuracy:.6f} "
+        f"moe={columnar_report.margin_of_error:.6f} "
         f"triples={columnar_report.num_triples_annotated}",
     )
     assert memory_report.accuracy == columnar_report.accuracy

@@ -8,9 +8,7 @@ from repro.experiments import format_table, table3_dataset_characteristics
 
 
 def test_table3_dataset_characteristics(benchmark):
-    rows = run_once(
-        benchmark, table3_dataset_characteristics, seed=0, movie_scale=movie_scale()
-    )
+    rows = run_once(benchmark, table3_dataset_characteristics, seed=0, movie_scale=movie_scale())
     emit(
         "Table 3: dataset characteristics (stand-in vs published)",
         format_table(
@@ -26,7 +24,8 @@ def test_table3_dataset_characteristics(benchmark):
                 "paper_accuracy",
             ],
         )
-        + "\nexpected shape: NELL/YAGO match the published sizes exactly; MOVIE is a documented scale-down"
+        + "\nexpected shape: NELL/YAGO match the published sizes exactly;"
+        + " MOVIE is a documented scale-down"
         + "\n                with the published average cluster size and gold accuracy",
     )
     by_name = {row["dataset"]: row for row in rows}

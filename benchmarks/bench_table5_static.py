@@ -31,9 +31,14 @@ def test_table5_static_comparison(benchmark):
                 "num_entities",
             ],
         )
-        + "\nexpected shape: TWCS lowest annotation_hours per dataset; all estimates within a few points of gold",
+        + "\nexpected shape: TWCS lowest annotation_hours per dataset;"
+        + " all estimates within a few points of gold",
     )
     for dataset in {row["dataset"] for row in rows}:
-        subset = {row["method"]: row["annotation_hours"] for row in rows if row["dataset"] == dataset}
+        subset = {
+            row["method"]: row["annotation_hours"]
+            for row in rows
+            if row["dataset"] == dataset
+        }
         assert subset["TWCS"] <= subset["RCS"]
         assert subset["TWCS"] <= subset["WCS"] * 1.25

@@ -29,11 +29,9 @@ def test_table6_kgeval_comparison(benchmark):
                 "estimation_error",
             ],
         )
-        + "\nexpected shape: KGEval machine time ≫ TWCS machine time; TWCS annotation cost no worse; both estimates near gold",
+        + "\nexpected shape: KGEval machine time ≫ TWCS machine time;"
+        + " TWCS annotation cost no worse; both estimates near gold",
     )
     for dataset in {row["dataset"] for row in rows}:
         subset = {row["method"]: row for row in rows if row["dataset"] == dataset}
-        assert (
-            subset["KGEval"]["machine_time_seconds"]
-            > subset["TWCS"]["machine_time_seconds"]
-        )
+        assert subset["KGEval"]["machine_time_seconds"] > subset["TWCS"]["machine_time_seconds"]

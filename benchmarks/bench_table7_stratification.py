@@ -16,7 +16,8 @@ def test_table7_stratification(benchmark):
         movie_scale=movie_scale(),
     )
     emit(
-        "Table 7: stratified TWCS (paper: size stratification helps most on MOVIE-SYN; oracle is the lower bound)",
+        "Table 7: stratified TWCS "
+        "(paper: size stratification helps most on MOVIE-SYN; oracle is the lower bound)",
         format_table(
             rows,
             columns=[
@@ -29,9 +30,14 @@ def test_table7_stratification(benchmark):
                 "accuracy_estimate",
             ],
         )
-        + "\nexpected shape: oracle stratification cheapest per dataset; size stratification helps where"
+        + "\nexpected shape: oracle stratification cheapest per dataset;"
+        + " size stratification helps where"
         + "\n                cluster size predicts accuracy (MOVIE-SYN), is neutral elsewhere",
     )
     for dataset in {row["dataset"] for row in rows}:
-        subset = {row["method"]: row["annotation_hours"] for row in rows if row["dataset"] == dataset}
+        subset = {
+            row["method"]: row["annotation_hours"]
+            for row in rows
+            if row["dataset"] == dataset
+        }
         assert subset["TWCS+ORACLE"] <= subset["SRS"]

@@ -44,7 +44,8 @@ def main() -> None:
     # --- Figure 4 ----------------------------------------------------------
     fig4 = figure4_cost_fit(seed=3)
     print("Figure 4 — least-squares fit of the cost function:")
-    print(f"  fitted c1 (entity identification) : {fig4.fit.identification_cost:5.1f} s (true 45 s)")
+    fit = fig4.fit
+    print(f"  fitted c1 (entity identification) : {fit.identification_cost:5.1f} s (true 45 s)")
     print(f"  fitted c2 (relationship validation): {fig4.fit.validation_cost:5.1f} s (true 25 s)")
     print(f"  R^2 of the fit                     : {fig4.fit.r_squared:.3f}\n")
 

@@ -16,8 +16,6 @@ would actually run before a release:
 Run with:  python examples/predicate_quality_report.py
 """
 
-import numpy as np
-
 from repro import (
     CostModel,
     EvaluationConfig,

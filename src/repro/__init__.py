@@ -52,6 +52,7 @@ from repro.kg import EvolvingKnowledgeGraph, KnowledgeGraph, Triple, UpdateBatch
 from repro.labels import BinomialMixtureModel, LabelOracle, RandomErrorModel
 from repro.storage import (
     ColumnarStore,
+    DeltaStore,
     InMemoryStore,
     SnapshotStore,
     StorageBackend,
@@ -72,7 +73,7 @@ from repro.sampling import (
     stratify_by_size,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "__version__",
@@ -85,6 +86,7 @@ __all__ = [
     "StorageBackend",
     "InMemoryStore",
     "ColumnarStore",
+    "DeltaStore",
     "SnapshotStore",
     "ingest_tsv",
     "ingest_nt",

@@ -82,9 +82,7 @@ class CouplingGraphBuilder:
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
-    def _connect_group(
-        self, graph: nx.Graph, members: list[Triple], weight: float
-    ) -> None:
+    def _connect_group(self, graph: nx.Graph, members: list[Triple], weight: float) -> None:
         """Connect a coupled group (clique for small groups, sparse for large)."""
         if len(members) < 2 or weight <= 0:
             return

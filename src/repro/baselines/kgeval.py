@@ -113,9 +113,7 @@ class KGEvalBaseline:
             self._coupling = self.builder.build(self.graph)
         return self._coupling
 
-    def _select_next(
-        self, coupling: nx.Graph, labelled: dict[Triple, bool]
-    ) -> Triple | None:
+    def _select_next(self, coupling: nx.Graph, labelled: dict[Triple, bool]) -> Triple | None:
         """Pick the unlabelled triple with the most unlabelled coupling weight.
 
         This full scan per selection mirrors KGEval's expensive inference-driven
@@ -153,7 +151,8 @@ class KGEvalBaseline:
                 if neighbour in labelled:
                     continue
                 weight = float(data.get("weight", 1.0))
-                evidence[neighbour] = evidence.get(neighbour, 0.0) + sign * weight * triple_confidence
+                contribution = sign * weight * triple_confidence
+                evidence[neighbour] = evidence.get(neighbour, 0.0) + contribution
                 if abs(evidence[neighbour]) >= self.inference_threshold:
                     inferred_label = evidence[neighbour] > 0
                     labelled[neighbour] = inferred_label

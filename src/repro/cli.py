@@ -1,18 +1,26 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the common workflows:
+Five commands cover the common workflows:
 
 * ``datasets`` — print Table-3-style characteristics of the synthetic dataset
   stand-ins (entities, triples, average cluster size, gold accuracy);
 * ``evaluate`` — run one accuracy evaluation of a chosen dataset with a chosen
   sampling design and quality requirement, and print the report
   (``--backend columnar`` runs the same evaluation on columnar storage and
-  yields the identical estimate under the same seed);
+  yields the identical estimate under the same seed; ``--from-snapshot``
+  evaluates a reopened format-v2 snapshot carrying its label array);
 * ``experiment`` — regenerate one of the paper's tables/figures and print the
   rows (the same functions the benchmark suite calls);
 * ``snapshot`` — build a dataset's graph and persist it with
   :class:`~repro.storage.snapshot.SnapshotStore` (``.npz`` archive, or a
-  memory-mappable snapshot directory when the path has no ``.npz`` suffix).
+  memory-mappable snapshot directory when the path has no ``.npz`` suffix);
+  ``--with-labels`` stores the ground-truth label array next to the columns;
+* ``monitor`` — run an evolving-KG monitoring session (Section 7.3.2): a base
+  dataset receives a stream of update batches and an incremental evaluator
+  tracks its accuracy.  ``--backend columnar`` runs the position-surface
+  evaluators on a columnar base with zero-copy delta updates;
+  ``--snapshot`` persists (and on re-runs reopens) the base graph plus its
+  labels, so the expensive build/labelling happens once.
 
 Examples
 --------
@@ -22,7 +30,9 @@ Examples
     python -m repro evaluate --dataset nell --design twcs --moe 0.05 --seed 7
     python -m repro evaluate --dataset nell --backend columnar
     python -m repro experiment table5 --trials 10
-    python -m repro snapshot --dataset movie --out movie.npz
+    python -m repro snapshot --dataset movie --out movie.npz --with-labels
+    python -m repro evaluate --from-snapshot movie.npz
+    python -m repro monitor --dataset movie --backend columnar --batches 5
 """
 
 from __future__ import annotations
@@ -115,8 +125,28 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_snapshot_dataset(path: str) -> LabelledKG:
+    """Reopen a format-v2 snapshot (graph + label array) as a labelled KG."""
+    from repro.labels.oracle import LabelOracle
+    from repro.storage.snapshot import SnapshotStore
+
+    store = SnapshotStore(path)
+    graph = store.load_graph()
+    labels = store.load_labels()
+    if labels is None:
+        raise SystemExit(
+            f"snapshot {path} carries no label array; re-create it with "
+            "`repro snapshot --with-labels`"
+        )
+    oracle = LabelOracle(dict(zip(graph.triples, (bool(v) for v in labels))))
+    return LabelledKG(graph, oracle)
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    data = _load_dataset(args.dataset, args.seed, args.movie_scale)
+    if args.from_snapshot:
+        data = _load_snapshot_dataset(args.from_snapshot)
+    else:
+        data = _load_dataset(args.dataset, args.seed, args.movie_scale)
     if args.backend == "columnar":
         data = LabelledKG(data.graph.to_columnar(), data.oracle)
     design = _build_design(args.design, data, args.second_stage_size, args.seed)
@@ -142,13 +172,95 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
 
     data = _load_dataset(args.dataset, args.seed, args.movie_scale)
     graph = data.graph.to_columnar()
-    path = SnapshotStore(args.out).save(graph, name=graph.name, compress=args.compress)
+    labels = data.oracle.as_position_array(graph) if args.with_labels else None
+    path = SnapshotStore(args.out).save(
+        graph, name=graph.name, compress=args.compress, labels=labels
+    )
     layout = "npz archive" if SnapshotStore(path).is_archive else "mmap-able directory"
     print(f"dataset  : {graph.name}")
     print(f"entities : {graph.num_entities}")
     print(f"triples  : {graph.num_triples}")
+    print(f"labels   : {'stored (format v2)' if labels is not None else 'not stored'}")
     print(f"snapshot : {path} ({layout})")
     return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.core.config import EvaluationConfig as _Config
+    from repro.evolving.baseline import BaselineEvolvingEvaluator
+    from repro.evolving.monitor import EvolvingAccuracyMonitor
+    from repro.evolving.reservoir_eval import ReservoirIncrementalEvaluator
+    from repro.evolving.stratified_eval import StratifiedIncrementalEvaluator
+    from repro.generators.workload import UpdateWorkloadGenerator
+    from repro.storage.snapshot import SnapshotStore
+
+    surface = (
+        "position" if args.backend == "columnar" and args.evaluator != "baseline" else "object"
+    )
+    position_labels = None
+    if args.snapshot and SnapshotStore(args.snapshot).exists():
+        if surface == "position":
+            # The position surface reads ground truth from the label array
+            # only, so skip the O(M) Triple/oracle-dict materialisation and
+            # reopen the columns directly.
+            from repro.labels.oracle import LabelOracle
+
+            store = SnapshotStore(args.snapshot)
+            position_labels = store.load_labels()
+            if position_labels is None:
+                raise SystemExit(
+                    f"snapshot {args.snapshot} carries no label array; re-create "
+                    "it with `repro monitor --snapshot` or `repro snapshot --with-labels`"
+                )
+            data = LabelledKG(store.load_graph(), LabelOracle({}, strict=False))
+        else:
+            data = _load_snapshot_dataset(args.snapshot)
+        print(f"base KG  : {data.graph!r} (reopened from {args.snapshot})")
+    else:
+        data = _load_dataset(args.dataset, args.seed, args.movie_scale)
+        if args.backend == "columnar":
+            data = LabelledKG(data.graph.to_columnar(), data.oracle)
+        if args.snapshot:
+            labels = data.oracle.as_position_array(data.graph)
+            data.graph.to_columnar().save_snapshot(args.snapshot, labels=labels)
+            if surface == "position":
+                position_labels = labels
+            print(f"base KG  : {data.graph!r} (snapshot saved to {args.snapshot})")
+        else:
+            print(f"base KG  : {data.graph!r}")
+
+    evaluator_classes = {
+        "rs": ReservoirIncrementalEvaluator,
+        "ss": StratifiedIncrementalEvaluator,
+        "baseline": BaselineEvolvingEvaluator,
+    }
+    config = _Config(moe_target=args.moe, confidence_level=args.confidence)
+    evaluator = evaluator_classes[args.evaluator](
+        data,
+        config=config,
+        seed=args.seed,
+        surface=surface,
+        position_labels=position_labels if surface == "position" else None,
+    )
+    monitor = EvolvingAccuracyMonitor(evaluator)
+    monitor.evaluate_base()
+    workload = UpdateWorkloadGenerator(data, seed=args.seed)
+    batch_size = max(1, int(round(args.batch_fraction * data.graph.num_triples)))
+    for batch, batch_oracle in workload.generate_sequence(
+        args.batches, batch_size, args.update_accuracy
+    ):
+        monitor.apply_update(batch, batch_oracle)
+
+    print(f"evaluator: {args.evaluator} ({surface} surface, {args.backend} backend)")
+    print("batch  estimate  truth   MoE    batch-cost(h)  total-cost(h)")
+    for record in monitor.records:
+        print(
+            f"{record.batch_index:>5}  {record.estimated_accuracy:7.1%}  "
+            f"{record.true_accuracy:6.1%}  {record.margin_of_error:5.3f}  "
+            f"{record.incremental_cost_hours:12.2f}  {record.cumulative_cost_hours:12.2f}"
+        )
+    final = monitor.records[-1]
+    return 0 if final.estimation_error <= max(2 * args.moe, 0.15) else 1
 
 
 _EXPERIMENTS = {
@@ -173,7 +285,11 @@ _EXPERIMENTS = {
         title="Figure 5: confidence-level sweep",
     ),
     "fig6": lambda args: format_table(
-        [row for row in figure6_optimal_m(max(1, args.trials // 2), args.seed) if "annotation_hours" in row],
+        [
+            row
+            for row in figure6_optimal_m(max(1, args.trials // 2), args.seed)
+            if "annotation_hours" in row
+        ],
         title="Figure 6: optimal second-stage size",
     ),
     "fig7": lambda args: "\n".join(
@@ -244,6 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="memory",
         help="storage backend for the evaluated graph (default memory)",
     )
+    evaluate.add_argument(
+        "--from-snapshot",
+        default=None,
+        dest="from_snapshot",
+        help="evaluate a reopened snapshot (requires a format-v2 snapshot "
+        "saved with --with-labels) instead of building --dataset",
+    )
 
     snapshot = subparsers.add_parser(
         "snapshot",
@@ -257,8 +380,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="target path: *.npz for a single archive, anything else for a "
         "memory-mappable snapshot directory",
     )
+    snapshot.add_argument("--compress", action="store_true", help="compress the .npz archive")
     snapshot.add_argument(
-        "--compress", action="store_true", help="compress the .npz archive"
+        "--with-labels",
+        action="store_true",
+        dest="with_labels",
+        help="store the ground-truth label array next to the graph (format v2), "
+        "enabling `evaluate --from-snapshot` and monitor resume",
+    )
+
+    monitor = subparsers.add_parser(
+        "monitor",
+        parents=[common],
+        help="monitor an evolving KG over a stream of update batches",
+    )
+    monitor.add_argument("--dataset", choices=_DATASETS, default="movie")
+    monitor.add_argument(
+        "--backend",
+        choices=("memory", "columnar"),
+        default="memory",
+        help="storage backend; 'columnar' runs the position-surface evaluators "
+        "with zero-copy delta updates (default memory)",
+    )
+    monitor.add_argument(
+        "--evaluator",
+        choices=("rs", "ss", "baseline"),
+        default="ss",
+        help="incremental evaluator: reservoir (Alg. 1), stratified (Alg. 2) "
+        "or the re-evaluate-from-scratch baseline (default ss)",
+    )
+    monitor.add_argument(
+        "--batches", type=int, default=3, help="number of update batches (default 3)"
+    )
+    monitor.add_argument(
+        "--batch-fraction",
+        type=float,
+        default=0.1,
+        dest="batch_fraction",
+        help="update batch size as a fraction of the base KG (default 0.1)",
+    )
+    monitor.add_argument(
+        "--update-accuracy",
+        type=float,
+        default=0.8,
+        dest="update_accuracy",
+        help="accuracy of inserted triples (default 0.8)",
+    )
+    monitor.add_argument("--moe", type=float, default=0.05, help="margin-of-error target")
+    monitor.add_argument(
+        "--confidence", type=float, default=0.95, help="confidence level (default 0.95)"
+    )
+    monitor.add_argument(
+        "--snapshot",
+        default=None,
+        help="persist the base graph + labels here on the first run and reopen "
+        "them on later runs (skipping the build/labelling work)",
     )
 
     experiment = subparsers.add_parser(
@@ -280,6 +456,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_evaluate(args)
     if args.command == "snapshot":
         return _cmd_snapshot(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
     parser.print_help()

@@ -215,9 +215,7 @@ def evaluate_by_predicate(
     >>> all(0.0 <= r.accuracy <= 1.0 for r in reports.values())
     True
     """
-    config = EvaluationConfig(
-        moe_target=moe_target, confidence_level=confidence_level
-    )
+    config = EvaluationConfig(moe_target=moe_target, confidence_level=confidence_level)
     evaluator = GranularEvaluator(
         graph, annotator, config, second_stage_size=second_stage_size, seed=seed
     )

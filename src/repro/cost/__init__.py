@@ -14,7 +14,12 @@ triple).  This subpackage implements:
   (:mod:`repro.cost.fitting`, Figure 4).
 """
 
-from repro.cost.annotator import AnnotationResult, EvaluationTask, SimulatedAnnotator
+from repro.cost.annotator import (
+    AnnotationResult,
+    EvaluationTask,
+    PositionAnnotationAccount,
+    SimulatedAnnotator,
+)
 from repro.cost.fitting import CostFit, CostObservation, fit_cost_model
 from repro.cost.model import CostModel
 from repro.cost.pool import AnnotationTaskPool, NoisyAnnotator, TaskRecord
@@ -24,6 +29,7 @@ __all__ = [
     "EvaluationTask",
     "AnnotationResult",
     "SimulatedAnnotator",
+    "PositionAnnotationAccount",
     "NoisyAnnotator",
     "AnnotationTaskPool",
     "TaskRecord",

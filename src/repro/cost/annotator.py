@@ -29,7 +29,12 @@ from repro.cost.model import CostModel
 from repro.kg.triple import Triple
 from repro.labels.oracle import LabelOracle
 
-__all__ = ["EvaluationTask", "AnnotationResult", "SimulatedAnnotator"]
+__all__ = [
+    "EvaluationTask",
+    "AnnotationResult",
+    "SimulatedAnnotator",
+    "PositionAnnotationAccount",
+]
 
 
 @dataclass(frozen=True)
@@ -225,3 +230,79 @@ class SimulatedAnnotator:
             num_triples=self.total_triples_annotated - triples_before,
         )
         return aggregate, timeline
+
+
+class PositionAnnotationAccount:
+    """Eq. (4) cost accounting for position-surface annotation flows.
+
+    The position surface never materialises Triple objects, so sampled work
+    arrives as ``(entity_key, positions)`` pairs of plain integers: the
+    cluster's global entity row and the global triple positions selected for
+    annotation.  The account mirrors :class:`SimulatedAnnotator`'s session
+    semantics exactly — ``c1`` is charged once per distinct entity, ``c2``
+    once per distinct triple position, and re-annotating already-labelled
+    positions is free — which keeps position-mode cost reports comparable to
+    (and as deterministic as) the object-mode ones.
+
+    :meth:`mark_annotated` seeds the account without charging, so a
+    monitoring run resumed from a snapshot (format v2 ``annotated`` array)
+    does not pay again for annotations persisted by the previous run.
+    """
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self._identified: set[int] = set()
+        self._annotated: set[int] = set()
+        self._total_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Charging
+    # ------------------------------------------------------------------ #
+    def charge(self, entity_key: int, positions: np.ndarray | Sequence[int]) -> int:
+        """Charge for annotating ``positions`` of cluster ``entity_key``.
+
+        Returns the number of newly annotated positions (0 when every
+        position was already labelled in this session, in which case no
+        identification cost is charged either).
+        """
+        annotated = self._annotated
+        new_positions = [int(p) for p in positions if int(p) not in annotated]
+        if not new_positions:
+            return 0
+        cost = self.cost_model.validation_cost * len(new_positions)
+        if entity_key not in self._identified:
+            self._identified.add(entity_key)
+            cost += self.cost_model.identification_cost
+        annotated.update(new_positions)
+        self._total_seconds += cost
+        return len(new_positions)
+
+    def mark_annotated(self, entity_key: int, positions: np.ndarray | Sequence[int]) -> None:
+        """Record positions as already annotated without charging any cost."""
+        self._identified.add(entity_key)
+        self._annotated.update(int(p) for p in positions)
+
+    # ------------------------------------------------------------------ #
+    # Read-outs
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cost_seconds(self) -> float:
+        """Total annotation time charged so far."""
+        return self._total_seconds
+
+    @property
+    def total_triples_annotated(self) -> int:
+        """Number of distinct triple positions annotated so far."""
+        return len(self._annotated)
+
+    @property
+    def entities_identified(self) -> int:
+        """Number of distinct entities identified so far."""
+        return len(self._identified)
+
+    def annotated_mask(self, num_triples: int) -> np.ndarray:
+        """Annotated positions as a boolean array of length ``num_triples``."""
+        mask = np.zeros(num_triples, dtype=bool)
+        if self._annotated:
+            mask[np.fromiter(self._annotated, dtype=np.int64, count=len(self._annotated))] = True
+        return mask

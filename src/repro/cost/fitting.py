@@ -74,9 +74,7 @@ def fit_cost_model(observations: Sequence[CostObservation]) -> CostFit:
         raise ValueError("at least two observations are required to fit (c1, c2)")
     from scipy.optimize import nnls
 
-    design = np.array(
-        [[obs.num_entities, obs.num_triples] for obs in observations], dtype=float
-    )
+    design = np.array([[obs.num_entities, obs.num_triples] for obs in observations], dtype=float)
     response = np.array([obs.observed_seconds for obs in observations], dtype=float)
     coefficients, _ = nnls(design, response)
     model = CostModel(

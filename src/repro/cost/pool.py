@@ -129,9 +129,7 @@ class AnnotationTaskPool:
         if not annotators:
             raise ValueError("at least one annotator is required")
         if not 1 <= annotations_per_task <= len(annotators):
-            raise ValueError(
-                "annotations_per_task must be between 1 and the number of annotators"
-            )
+            raise ValueError("annotations_per_task must be between 1 and the number of annotators")
         self.annotators = list(annotators)
         self.annotations_per_task = annotations_per_task
         self._next_annotator = 0

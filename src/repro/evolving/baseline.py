@@ -21,6 +21,14 @@ __all__ = ["BaselineEvolvingEvaluator"]
 class BaselineEvolvingEvaluator(IncrementalEvaluator):
     """Independent static TWCS evaluation of every snapshot."""
 
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if self.position_mode:
+            raise ValueError(
+                "BaselineEvolvingEvaluator re-annotates every snapshot through the "
+                "object surface; construct it with surface='object'"
+            )
+
     def _evaluate_snapshot(self, batch_id: str) -> UpdateEvaluation:
         design = TwoStageWeightedClusterDesign(
             self.evolving.current,

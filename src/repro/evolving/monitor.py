@@ -54,7 +54,8 @@ class EvolvingAccuracyMonitor:
         self.records: list[MonitorRecord] = []
 
     def _true_accuracy(self) -> float:
-        return self.evaluator.oracle.true_accuracy(self.evaluator.evolving.current)
+        # One array mean in position mode; a full oracle pass in object mode.
+        return self.evaluator.current_true_accuracy()
 
     def evaluate_base(self) -> MonitorRecord:
         """Evaluate the base graph and record the starting point."""
@@ -88,9 +89,7 @@ class EvolvingAccuracyMonitor:
         self.records.append(record)
         return record
 
-    def run(
-        self, updates: Iterable[tuple[UpdateBatch, LabelOracle]]
-    ) -> list[MonitorRecord]:
+    def run(self, updates: Iterable[tuple[UpdateBatch, LabelOracle]]) -> list[MonitorRecord]:
         """Process a whole stream of ``(batch, labels)`` pairs and return the trajectory."""
         if not self.records:
             self.evaluate_base()

@@ -11,7 +11,10 @@ Efraimidis–Spirakis A-Res keys ``u^{1/weight}``:
   ``u^{1/|Δ_e|}`` and replaces the minimum-key reservoir item whenever its key
   is larger — the replacement step of Algorithm 1;
 * the accuracy estimate is the mean of the per-cluster sample accuracies of
-  the clusters currently in the reservoir;
+  the clusters currently in the reservoir, tracked with a running
+  (Welford-style) accumulator that supports removal, so the margin-of-error
+  check after each refresh/growth step is O(1) instead of a fresh O(n) pass
+  over the reservoir;
 * if, after the stochastic refresh, the margin of error exceeds the threshold,
   the reservoir is grown: the not-yet-annotated cluster with the next-largest
   key is pulled in and annotated, exactly as if the static evaluation had
@@ -20,6 +23,12 @@ Efraimidis–Spirakis A-Res keys ``u^{1/weight}``:
 Keeping the keys of *all* clusters (annotated or not) makes the reservoir
 nested in its capacity, so growing it later never contradicts an earlier
 sampling decision.
+
+On the position surface (``surface="position"``) clusters are addressed as
+CSR rows of the frozen base graph or as clusters of an appended update
+segment; annotation resolves boolean label arrays by integer position and
+cost is charged through the position account, so the whole update loop runs
+without materialising a single Triple.
 """
 
 from __future__ import annotations
@@ -36,19 +45,41 @@ from repro.kg.triple import Triple
 from repro.kg.updates import UpdateBatch
 from repro.labels.oracle import LabelOracle
 from repro.sampling.base import Estimate
+from repro.sampling.segment import PositionSegment
+from repro.stats.running import RunningMean
 
 __all__ = ["ReservoirIncrementalEvaluator"]
 
 
 @dataclass
 class _ReservoirEntry:
-    """One annotated cluster currently in the reservoir."""
+    """One annotated cluster currently in the reservoir (object surface)."""
 
     cluster_key: str
     key: float
     weight: float
     triples: tuple[Triple, ...]
     accuracy: float
+
+
+@dataclass
+class _PositionEntry:
+    """One annotated cluster currently in the reservoir (position surface).
+
+    ``source`` addresses the cluster's population: ``(None, row)`` for a base
+    graph CSR row, ``(segment, cluster)`` for a cluster of an appended update
+    segment.
+    """
+
+    source: tuple[PositionSegment | None, int]
+    key: float
+    weight: float
+    positions: np.ndarray
+    accuracy: float
+
+    @property
+    def num_triples(self) -> int:
+        return int(self.positions.shape[0])
 
 
 class ReservoirIncrementalEvaluator(IncrementalEvaluator):
@@ -58,12 +89,16 @@ class ReservoirIncrementalEvaluator(IncrementalEvaluator):
         super().__init__(*args, **kwargs)
         self._rng = np.random.default_rng(self.seed)
         # Annotated clusters, as a min-heap on the A-Res key.
-        self._reservoir: list[tuple[float, int, _ReservoirEntry]] = []
+        self._reservoir: list[tuple[float, int, object]] = []
         # Clusters that received a key but were never annotated, as a max-heap
         # (negated keys); used when the reservoir needs to grow.
-        self._candidates: list[tuple[float, int, str, float, tuple[Triple, ...]]] = []
+        self._candidates: list[tuple] = []
         self._tiebreak = 0
         self._replacements_total = 0
+        # Running per-cluster accuracy stats of the current reservoir, so the
+        # margin-of-error check never recomputes over all entries.
+        self._stats = RunningMean()
+        self._stats_triples = 0
 
     # ------------------------------------------------------------------ #
     # Key handling
@@ -72,12 +107,33 @@ class ReservoirIncrementalEvaluator(IncrementalEvaluator):
         uniform = max(float(self._rng.random()), np.finfo(float).tiny)
         return float(uniform ** (1.0 / weight))
 
+    def _draw_keys(self, weights: np.ndarray) -> np.ndarray:
+        """Vectorised twin of :meth:`_draw_key`: one A-Res key per weight."""
+        uniforms = np.maximum(self._rng.random(weights.shape[0]), np.finfo(float).tiny)
+        return uniforms ** (1.0 / weights)
+
     def _next_tiebreak(self) -> int:
         self._tiebreak += 1
         return self._tiebreak
 
     # ------------------------------------------------------------------ #
-    # Annotation of one cluster (second stage of TWCS)
+    # Reservoir bookkeeping shared by both surfaces
+    # ------------------------------------------------------------------ #
+    def _push_reservoir(self, key: float, entry, accuracy: float, num_triples: int) -> None:
+        heapq.heappush(self._reservoir, (key, self._next_tiebreak(), entry))
+        self._stats.add(accuracy)
+        self._stats_triples += num_triples
+
+    def _pop_reservoir_min(self):
+        key, tiebreak, entry = heapq.heappop(self._reservoir)
+        self._stats.remove(entry.accuracy)
+        self._stats_triples -= (
+            entry.num_triples if isinstance(entry, _PositionEntry) else len(entry.triples)
+        )
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Object surface: annotation of one cluster (second stage of TWCS)
     # ------------------------------------------------------------------ #
     def _annotate_cluster(self, triples: tuple[Triple, ...]) -> tuple[tuple[Triple, ...], float]:
         take = min(len(triples), self.second_stage_size)
@@ -98,7 +154,7 @@ class ReservoirIncrementalEvaluator(IncrementalEvaluator):
             triples=sampled,
             accuracy=accuracy,
         )
-        heapq.heappush(self._reservoir, (key, self._next_tiebreak(), entry))
+        self._push_reservoir(key, entry, accuracy, len(sampled))
 
     def _push_candidate(
         self, cluster_key: str, key: float, weight: float, triples: tuple[Triple, ...]
@@ -107,12 +163,80 @@ class ReservoirIncrementalEvaluator(IncrementalEvaluator):
             self._candidates, (-key, self._next_tiebreak(), cluster_key, weight, triples)
         )
 
+    # ------------------------------------------------------------------ #
+    # Position surface: annotation of one cluster
+    # ------------------------------------------------------------------ #
+    def _cluster_population(self, source: tuple[PositionSegment | None, int]) -> np.ndarray:
+        segment, index = source
+        if segment is None:
+            return self.evolving.base.cluster_positions_by_row(index)
+        return segment.cluster_positions(index)
+
+    def _entity_key_of(self, source: tuple[PositionSegment | None, int]) -> int:
+        segment, index = source
+        if segment is None:
+            # Base rows coincide with the evolved graph's rows on every
+            # backend (first-seen order is preserved by copy and delta view).
+            return index
+        return self.evolving.current.entity_row(segment.subjects[index])
+
+    def _insert_annotated_positions(
+        self,
+        source: tuple[PositionSegment | None, int],
+        key: float,
+        weight: float,
+        positions: np.ndarray | None = None,
+    ) -> None:
+        """Annotate one cluster and place it in the reservoir.
+
+        ``positions`` carries a previously annotated second-stage sample (an
+        evicted entry re-entering through the candidate heap): it is reused
+        verbatim — the account's dedup makes re-annotation free and the
+        accuracy unchanged — mirroring the object surface, which stores the
+        sampled triples in the candidate for the same reason.
+        """
+        assert self._labels is not None and self._account is not None
+        if positions is None:
+            population = np.asarray(self._cluster_population(source))
+            if population.shape[0] > self.second_stage_size:
+                chosen = self._rng.choice(
+                    population.shape[0], size=self.second_stage_size, replace=False
+                )
+                positions = population[chosen]
+            else:
+                positions = population
+        accuracy = float(self._labels[positions].mean())
+        self._account.charge(self._entity_key_of(source), positions)
+        entry = _PositionEntry(
+            source=source, key=key, weight=weight, positions=positions, accuracy=accuracy
+        )
+        self._push_reservoir(key, entry, accuracy, int(positions.shape[0]))
+
+    def _push_position_candidate(
+        self,
+        source: tuple[PositionSegment | None, int],
+        key: float,
+        weight: float,
+        positions: np.ndarray | None = None,
+    ) -> None:
+        heapq.heappush(
+            self._candidates, (-key, self._next_tiebreak(), weight, source, positions)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Growth (dispatches on surface)
+    # ------------------------------------------------------------------ #
     def _grow_reservoir(self, count: int) -> int:
         """Annotate the ``count`` highest-key candidates; return how many were added."""
         added = 0
         while added < count and self._candidates:
-            negated_key, _, cluster_key, weight, triples = heapq.heappop(self._candidates)
-            self._insert_annotated(cluster_key, -negated_key, weight, triples)
+            candidate = heapq.heappop(self._candidates)
+            if self.position_mode:
+                negated_key, _, weight, source, positions = candidate
+                self._insert_annotated_positions(source, -negated_key, weight, positions)
+            else:
+                negated_key, _, cluster_key, weight, triples = candidate
+                self._insert_annotated(cluster_key, -negated_key, weight, triples)
             added += 1
         return added
 
@@ -120,17 +244,15 @@ class ReservoirIncrementalEvaluator(IncrementalEvaluator):
     # Estimation
     # ------------------------------------------------------------------ #
     def _current_estimate(self) -> Estimate:
-        accuracies = [entry.accuracy for _, _, entry in self._reservoir]
-        num_triples = sum(len(entry.triples) for _, _, entry in self._reservoir)
-        n = len(accuracies)
+        n = self._stats.count
         if n == 0:
             return Estimate(value=0.0, std_error=math.inf, num_units=0, num_triples=0)
-        mean = float(np.mean(accuracies))
-        if n < 2:
-            std_error = math.inf
-        else:
-            std_error = float(np.std(accuracies, ddof=1) / math.sqrt(n))
-        return Estimate(value=mean, std_error=std_error, num_units=n, num_triples=num_triples)
+        return Estimate(
+            value=self._stats.mean,
+            std_error=self._stats.std_error,
+            num_units=n,
+            num_triples=self._stats_triples,
+        )
 
     def _satisfy_quality(self) -> tuple[Estimate, int]:
         """Grow the reservoir until the MoE target is met; return (estimate, iterations)."""
@@ -153,10 +275,9 @@ class ReservoirIncrementalEvaluator(IncrementalEvaluator):
         self,
         estimate: Estimate,
         iterations: int,
-        cost_before: float,
-        triples_before: int,
-        entities_before: int,
+        totals_before: tuple[float, int, int],
     ) -> EvaluationReport:
+        triples, entities, cost_seconds = self._report_fields(totals_before)
         return EvaluationReport(
             estimate=estimate,
             confidence_level=self.config.confidence_level,
@@ -165,9 +286,9 @@ class ReservoirIncrementalEvaluator(IncrementalEvaluator):
             and estimate.satisfies(self.config.moe_target, self.config.confidence_level),
             iterations=iterations,
             num_units=estimate.num_units,
-            num_triples_annotated=self.annotator.total_triples_annotated - triples_before,
-            num_entities_identified=self.annotator.entities_identified - entities_before,
-            annotation_cost_seconds=self.annotator.total_cost_seconds - cost_before,
+            num_triples_annotated=triples,
+            num_entities_identified=entities,
+            annotation_cost_seconds=cost_seconds,
         )
 
     # ------------------------------------------------------------------ #
@@ -175,52 +296,76 @@ class ReservoirIncrementalEvaluator(IncrementalEvaluator):
     # ------------------------------------------------------------------ #
     def evaluate_base(self) -> UpdateEvaluation:
         """Key every base cluster, annotate the top-key ones until the MoE target holds."""
-        cost_before = self.annotator.total_cost_seconds
-        triples_before = self.annotator.total_triples_annotated
-        entities_before = self.annotator.entities_identified
-        for cluster in self.evolving.base.clusters():
-            key = self._draw_key(float(cluster.size))
-            self._push_candidate(cluster.entity_id, key, float(cluster.size), cluster.triples)
+        totals_before = self._cost_totals()
+        if self.position_mode:
+            sizes = self.evolving.base.cluster_size_array().astype(float)
+            keys = self._draw_keys(sizes)
+            # Bulk-build the candidate heap: O(N) heapify instead of N pushes.
+            assert not self._candidates
+            self._candidates = [
+                (-key, row + 1, weight, (None, row), None)
+                for row, (key, weight) in enumerate(zip(keys.tolist(), sizes.tolist()))
+            ]
+            heapq.heapify(self._candidates)
+            self._tiebreak = sizes.shape[0]
+        else:
+            for cluster in self.evolving.base.clusters():
+                key = self._draw_key(float(cluster.size))
+                self._push_candidate(cluster.entity_id, key, float(cluster.size), cluster.triples)
         estimate, iterations = self._satisfy_quality()
-        report = self._build_report(
-            estimate, iterations, cost_before, triples_before, entities_before
-        )
+        report = self._build_report(estimate, iterations, totals_before)
         return self._record("base", report)
 
     def apply_update(self, batch: UpdateBatch, batch_oracle: LabelOracle) -> UpdateEvaluation:
         """Algorithm 1: stochastically refresh the reservoir, then re-check quality."""
         if not self._reservoir:
             raise RuntimeError("evaluate_base() must be called before apply_update()")
-        self._register_update(batch, batch_oracle)
-        cost_before = self.annotator.total_cost_seconds
-        triples_before = self.annotator.total_triples_annotated
-        entities_before = self.annotator.entities_identified
+        totals_before = self._cost_totals()
 
         replacements = 0
-        for cluster_key, insertion in batch.entity_insertions().items():
-            weight = float(insertion.size)
-            key = self._draw_key(weight)
-            smallest_key, _, smallest_entry = self._reservoir[0]
-            if key > smallest_key:
-                # Replace the minimum-key cluster (its annotations are paid for
-                # but no longer contribute to the estimator), as in Algorithm 1.
-                heapq.heappop(self._reservoir)
-                self._push_candidate(
-                    smallest_entry.cluster_key,
-                    smallest_entry.key,
-                    smallest_entry.weight,
-                    smallest_entry.triples,
-                )
-                self._insert_annotated(cluster_key, key, weight, insertion.triples)
-                replacements += 1
-            else:
-                self._push_candidate(cluster_key, key, weight, insertion.triples)
+        if self.position_mode:
+            segment = self._append_update(batch, batch_oracle)
+            sizes = segment.sizes().astype(float)
+            if sizes.shape[0]:
+                keys = self._draw_keys(sizes)
+                reservoir = self._reservoir
+                candidates = self._candidates
+                heappush = heapq.heappush
+                for index, (key, weight) in enumerate(zip(keys.tolist(), sizes.tolist())):
+                    if key > reservoir[0][0]:
+                        evicted = self._pop_reservoir_min()
+                        self._push_position_candidate(
+                            evicted.source, evicted.key, evicted.weight, evicted.positions
+                        )
+                        self._insert_annotated_positions((segment, index), key, weight)
+                        replacements += 1
+                    else:
+                        self._tiebreak += 1
+                        heappush(
+                            candidates, (-key, self._tiebreak, weight, (segment, index), None)
+                        )
+        else:
+            self._register_update(batch, batch_oracle)
+            for cluster_key, insertion in batch.entity_insertions().items():
+                weight = float(insertion.size)
+                key = self._draw_key(weight)
+                smallest_key = self._reservoir[0][0]
+                if key > smallest_key:
+                    # Replace the minimum-key cluster (its annotations are paid
+                    # for but no longer contribute to the estimator), as in
+                    # Algorithm 1.
+                    evicted = self._pop_reservoir_min()
+                    self._push_candidate(
+                        evicted.cluster_key, evicted.key, evicted.weight, evicted.triples
+                    )
+                    self._insert_annotated(cluster_key, key, weight, insertion.triples)
+                    replacements += 1
+                else:
+                    self._push_candidate(cluster_key, key, weight, insertion.triples)
         self._replacements_total += replacements
 
         estimate, iterations = self._satisfy_quality()
-        report = self._build_report(
-            estimate, iterations, cost_before, triples_before, entities_before
-        )
+        report = self._build_report(estimate, iterations, totals_before)
         return self._record(batch.batch_id, report)
 
     # ------------------------------------------------------------------ #

@@ -12,6 +12,13 @@ meets the margin-of-error requirement.  Because nothing annotated is ever
 discarded, SS is cheaper than the reservoir approach — but a bad initial
 estimate of a large stratum persists, which is the fault-tolerance trade-off
 shown in Figure 9.
+
+On the position surface (``surface="position"``) the base stratum runs the
+TWCS position loop over the (frozen) base graph's CSR index and each update
+batch becomes an appended CSR segment sampled with
+:class:`~repro.sampling.segment.SegmentTWCSDesign`; labels resolve by integer
+position and cost is charged through the position account, so no Triple
+objects are materialised anywhere in the update loop.
 """
 
 from __future__ import annotations
@@ -24,9 +31,11 @@ import numpy as np
 from repro.core.framework import StaticEvaluator
 from repro.core.result import EvaluationReport
 from repro.evolving.base import IncrementalEvaluator, UpdateEvaluation
+from repro.kg.graph import KnowledgeGraph
 from repro.kg.updates import UpdateBatch
 from repro.labels.oracle import LabelOracle
-from repro.sampling.base import Estimate
+from repro.sampling.base import Estimate, PositionUnit
+from repro.sampling.segment import PositionSegment, SegmentTWCSDesign
 from repro.sampling.twcs import TwoStageWeightedClusterDesign
 
 __all__ = ["StratifiedIncrementalEvaluator"]
@@ -38,7 +47,8 @@ class _StratumState:
 
     stratum_id: str
     num_triples: int
-    design: TwoStageWeightedClusterDesign
+    design: TwoStageWeightedClusterDesign | SegmentTWCSDesign
+    segment: PositionSegment | None = None
 
     @property
     def estimate(self) -> Estimate:
@@ -92,16 +102,13 @@ class StratifiedIncrementalEvaluator(IncrementalEvaluator):
         )
 
     def _build_report(
-        self,
-        iterations: int,
-        cost_before: float,
-        triples_before: int,
-        entities_before: int,
+        self, iterations: int, totals_before: tuple[float, int, int]
     ) -> EvaluationReport:
         estimate = self._combined_estimate()
         satisfied = not math.isinf(estimate.std_error) and estimate.satisfies(
             self.config.moe_target, self.config.confidence_level
         )
+        triples, entities, cost_seconds = self._report_fields(totals_before)
         return EvaluationReport(
             estimate=estimate,
             confidence_level=self.config.confidence_level,
@@ -109,24 +116,59 @@ class StratifiedIncrementalEvaluator(IncrementalEvaluator):
             satisfied=satisfied,
             iterations=iterations,
             num_units=estimate.num_units,
-            num_triples_annotated=self.annotator.total_triples_annotated - triples_before,
-            num_entities_identified=self.annotator.entities_identified - entities_before,
-            annotation_cost_seconds=self.annotator.total_cost_seconds - cost_before,
+            num_triples_annotated=triples,
+            num_entities_identified=entities,
+            annotation_cost_seconds=cost_seconds,
         )
+
+    # ------------------------------------------------------------------ #
+    # Position-surface annotation
+    # ------------------------------------------------------------------ #
+    def _charge_units(self, units: list[PositionUnit], segment: PositionSegment | None) -> None:
+        """Charge the position account for a batch of drawn cluster units."""
+        assert self._account is not None
+        current = self.evolving.current
+        for unit in units:
+            if segment is None:
+                entity_key = unit.entity_row
+            else:
+                entity_key = current.entity_row(segment.subjects[unit.entity_row])
+            self._account.charge(entity_key, unit.positions)
+
+    def _drive_position_base(self, design: TwoStageWeightedClusterDesign) -> int:
+        """Position-surface twin of the StaticEvaluator loop for the base stratum."""
+        assert self._labels is not None
+        config = self.config
+        iterations = 0
+        while True:
+            estimate = design.estimate()
+            enough = estimate.num_units >= config.min_units
+            if enough and estimate.satisfies(config.moe_target, config.confidence_level):
+                break
+            if config.max_units is not None and estimate.num_units >= config.max_units:
+                break
+            units = design.draw_positions(config.batch_size)
+            if not units:
+                break
+            iterations += 1
+            self._charge_units(units, None)
+            design.update_all_positions(units, self._labels)
+        return iterations
 
     # ------------------------------------------------------------------ #
     # IncrementalEvaluator interface
     # ------------------------------------------------------------------ #
     def evaluate_base(self) -> UpdateEvaluation:
         """Evaluate the base graph with static TWCS; it becomes the first stratum."""
-        cost_before = self.annotator.total_cost_seconds
-        triples_before = self.annotator.total_triples_annotated
-        entities_before = self.annotator.entities_identified
+        totals_before = self._cost_totals()
         design = TwoStageWeightedClusterDesign(
             self.evolving.base, second_stage_size=self.second_stage_size, seed=self._rng
         )
-        evaluator = StaticEvaluator(design, self.annotator, self.config)
-        base_report = evaluator.run(reset=False)
+        if self.position_mode:
+            iterations = self._drive_position_base(design)
+        else:
+            evaluator = StaticEvaluator(design, self.annotator, self.config)
+            iterations = evaluator.run(reset=False).iterations
         self._strata.append(
             _StratumState(
                 stratum_id="base",
@@ -134,27 +176,48 @@ class StratifiedIncrementalEvaluator(IncrementalEvaluator):
                 design=design,
             )
         )
-        report = self._build_report(
-            base_report.iterations, cost_before, triples_before, entities_before
-        )
+        report = self._build_report(iterations, totals_before)
         return self._record("base", report)
 
     def apply_update(self, batch: UpdateBatch, batch_oracle: LabelOracle) -> UpdateEvaluation:
         """Algorithm 2: sample only inside the new batch's stratum until the MoE holds."""
         if not self._strata:
             raise RuntimeError("evaluate_base() must be called before apply_update()")
-        self._register_update(batch, batch_oracle)
-        cost_before = self.annotator.total_cost_seconds
-        triples_before = self.annotator.total_triples_annotated
-        entities_before = self.annotator.entities_identified
+        totals_before = self._cost_totals()
 
-        batch_graph = batch.as_knowledge_graph()
-        design = TwoStageWeightedClusterDesign(
-            batch_graph, second_stage_size=self.second_stage_size, seed=self._rng
-        )
-        stratum = _StratumState(
-            stratum_id=batch.batch_id, num_triples=batch.size, design=design
-        )
+        segment: PositionSegment | None = None
+        if self.position_mode:
+            segment = self._append_update(batch, batch_oracle)
+            if segment.num_triples == 0:
+                # Every batch triple was a duplicate: nothing new to sample.
+                report = self._build_report(0, totals_before)
+                return self._record(batch.batch_id, report)
+            design: TwoStageWeightedClusterDesign | SegmentTWCSDesign = SegmentTWCSDesign(
+                segment, second_stage_size=self.second_stage_size, seed=self._rng
+            )
+            stratum = _StratumState(
+                stratum_id=batch.batch_id,
+                num_triples=segment.num_triples,
+                design=design,
+                segment=segment,
+            )
+        else:
+            flags = self._register_update(batch, batch_oracle)
+            # The stratum covers only the triples actually added to G + Δ:
+            # re-inserted duplicates already belong to an earlier stratum's
+            # weight, and counting them twice would bias the Eq. (13)
+            # combination (the position surface dedups identically).
+            added = [triple for triple, was_added in zip(batch.triples, flags) if was_added]
+            if not added:
+                report = self._build_report(0, totals_before)
+                return self._record(batch.batch_id, report)
+            batch_graph = KnowledgeGraph(added, name=batch.batch_id)
+            design = TwoStageWeightedClusterDesign(
+                batch_graph, second_stage_size=self.second_stage_size, seed=self._rng
+            )
+            stratum = _StratumState(
+                stratum_id=batch.batch_id, num_triples=len(added), design=design
+            )
         self._strata.append(stratum)
 
         config = self.config
@@ -171,15 +234,24 @@ class StratifiedIncrementalEvaluator(IncrementalEvaluator):
                 break
             if config.max_units is not None and combined.num_units >= config.max_units:
                 break
-            units = design.draw(config.batch_size)
-            if not units:
-                break
-            iterations += 1
-            for unit in units:
-                result = self.annotator.annotate_triples(unit.triples)
-                design.update(unit, result.labels)
+            if self.position_mode:
+                assert self._labels is not None
+                units = design.draw_positions(config.batch_size)
+                if not units:
+                    break
+                iterations += 1
+                self._charge_units(units, segment)
+                design.update_all_positions(units, self._labels)
+            else:
+                object_units = design.draw(config.batch_size)
+                if not object_units:
+                    break
+                iterations += 1
+                for unit in object_units:
+                    result = self.annotator.annotate_triples(unit.triples)
+                    design.update(unit, result.labels)
 
-        report = self._build_report(iterations, cost_before, triples_before, entities_before)
+        report = self._build_report(iterations, totals_before)
         return self._record(batch.batch_id, report)
 
     # ------------------------------------------------------------------ #

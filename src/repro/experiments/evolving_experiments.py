@@ -36,23 +36,37 @@ _EVALUATORS: dict[str, type[IncrementalEvaluator]] = {
 
 
 def _make_base(
-    seed: int, movie_scale: float, base_fraction: float, base_accuracy: float
+    seed: int,
+    movie_scale: float,
+    base_fraction: float,
+    base_accuracy: float,
+    backend: str = "memory",
 ) -> LabelledKG:
     """Build the evolving-KG base: a subset of MOVIE relabelled with REM labels."""
     movie = make_movie_like(seed=seed, scale=movie_scale)
     rng = np.random.default_rng(seed)
     base_graph = movie.graph.random_triple_subset(base_fraction, rng, name="MOVIE-base")
     oracle = RandomErrorModel.with_accuracy(base_accuracy, seed=seed).generate(base_graph)
+    if backend == "columnar":
+        base_graph = base_graph.to_columnar()
     return LabelledKG(base_graph, oracle)
 
 
 def _make_evaluator(
-    method: str, base: LabelledKG, config: EvaluationConfig, seed: int
+    method: str,
+    base: LabelledKG,
+    config: EvaluationConfig,
+    seed: int,
+    backend: str = "memory",
 ) -> IncrementalEvaluator:
     evaluator_cls = _EVALUATORS.get(method)
     if evaluator_cls is None:
         raise ValueError(f"unknown evolving evaluation method {method!r}")
-    return evaluator_cls(base, config=config, seed=seed)
+    # RS/SS run the position surface on the columnar backend (appended CSR
+    # segments over a DeltaStore view); the Baseline re-annotates Triples and
+    # therefore always runs the object surface.
+    surface = "position" if backend == "columnar" and method != "Baseline" else "object"
+    return evaluator_cls(base, config=config, seed=seed, surface=surface)
 
 
 # --------------------------------------------------------------------------- #
@@ -69,6 +83,7 @@ def figure8_single_update(
     fixed_update_accuracy: float = 0.9,
     fixed_update_fraction: float = 0.5,
     methods: tuple[str, ...] = ("Baseline", "RS", "SS"),
+    backend: str = "memory",
 ) -> dict[str, list[dict[str, object]]]:
     """Figure 8: evaluation cost after one update batch.
 
@@ -82,15 +97,15 @@ def figure8_single_update(
     def run_one(
         method: str, update_fraction: float, update_accuracy: float, trial_seed: int
     ) -> dict[str, float]:
-        base = _make_base(trial_seed, movie_scale, base_fraction, base_accuracy)
+        base = _make_base(trial_seed, movie_scale, base_fraction, base_accuracy, backend)
         config = EvaluationConfig(moe_target=0.05, confidence_level=0.95)
-        evaluator = _make_evaluator(method, base, config, trial_seed)
+        evaluator = _make_evaluator(method, base, config, trial_seed, backend)
         evaluator.evaluate_base()
         workload = UpdateWorkloadGenerator(base, seed=trial_seed)
         update_size = max(1, int(round(update_fraction * base.graph.num_triples)))
         batch, batch_oracle = workload.generate_batch(update_size, update_accuracy)
         evaluation = evaluator.apply_update(batch, batch_oracle)
-        true_accuracy = evaluator.oracle.true_accuracy(evaluator.evolving.current)
+        true_accuracy = evaluator.current_true_accuracy()
         return {
             "update_cost_hours": evaluation.incremental_cost_hours,
             "accuracy_estimate": evaluation.accuracy,
@@ -103,7 +118,9 @@ def figure8_single_update(
     for update_fraction in update_size_fractions:
         for method in methods:
 
-            def trial(trial_seed: int, method=method, update_fraction=update_fraction) -> dict[str, float]:
+            def trial(
+                trial_seed: int, method=method, update_fraction=update_fraction
+            ) -> dict[str, float]:
                 return run_one(method, update_fraction, fixed_update_accuracy, trial_seed)
 
             stats = run_trials(trial, num_trials, base_seed=seed)
@@ -120,7 +137,9 @@ def figure8_single_update(
     for update_accuracy in update_accuracies:
         for method in methods:
 
-            def trial(trial_seed: int, method=method, update_accuracy=update_accuracy) -> dict[str, float]:
+            def trial(
+                trial_seed: int, method=method, update_accuracy=update_accuracy
+            ) -> dict[str, float]:
                 return run_one(method, fixed_update_fraction, update_accuracy, trial_seed)
 
             stats = run_trials(trial, num_trials, base_seed=seed)
@@ -172,8 +191,9 @@ def _run_trajectory(
     batch_fraction: float,
     update_accuracy: float,
     seed: int,
+    backend: str = "memory",
 ) -> SequenceTrajectory:
-    evaluator = _make_evaluator(method, base, config, seed)
+    evaluator = _make_evaluator(method, base, config, seed, backend)
     monitor = EvolvingAccuracyMonitor(evaluator)
     monitor.evaluate_base()
     workload = UpdateWorkloadGenerator(base, seed=seed)
@@ -201,6 +221,7 @@ def figure9_update_sequence(
     update_accuracy: float = 0.9,
     methods: tuple[str, ...] = ("RS", "SS"),
     progress: Callable[[str], None] | None = None,
+    backend: str = "memory",
 ) -> dict[str, object]:
     """Figure 9: accuracy tracking over a sequence of update batches.
 
@@ -213,7 +234,7 @@ def figure9_update_sequence(
     trajectories: dict[str, list[SequenceTrajectory]] = {method: [] for method in methods}
     for trial_index in range(num_trials):
         trial_seed = seed + trial_index
-        base = _make_base(trial_seed, movie_scale, base_fraction, base_accuracy)
+        base = _make_base(trial_seed, movie_scale, base_fraction, base_accuracy, backend)
         for method in methods:
             if progress is not None:
                 progress(f"trial {trial_index} method {method}")
@@ -226,6 +247,7 @@ def figure9_update_sequence(
                     batch_fraction,
                     update_accuracy,
                     trial_seed,
+                    backend,
                 )
             )
 
@@ -244,9 +266,7 @@ def figure9_update_sequence(
     result: dict[str, object] = {"mean": {}, "overestimation_run": {}, "underestimation_run": {}}
     for method, items in trajectories.items():
         result["mean"][method] = mean_trajectory(items)
-        initial_errors = [
-            item.estimated_accuracy[0] - item.true_accuracy[0] for item in items
-        ]
+        initial_errors = [item.estimated_accuracy[0] - item.true_accuracy[0] for item in items]
         over_index = int(np.argmax(initial_errors))
         under_index = int(np.argmin(initial_errors))
         result["overestimation_run"][method] = trajectories[method][over_index]

@@ -31,7 +31,6 @@ from repro.generators.datasets import (
 )
 from repro.kg.statistics import entity_accuracy_by_size, size_accuracy_correlation
 from repro.kg.triple import Triple
-from repro.labels.oracle import LabelOracle
 from repro.sampling.base import SamplingDesign
 from repro.sampling.optimal import (
     expected_twcs_cost_seconds,
@@ -240,9 +239,7 @@ def figure1_cost_curves(
             entity_level.extend(chosen)
             used_entities += 1
 
-    annotator = SimulatedAnnotator(
-        data.oracle, time_noise_sigma=time_noise_sigma, seed=seed
-    )
+    annotator = SimulatedAnnotator(data.oracle, time_noise_sigma=time_noise_sigma, seed=seed)
     _, triple_timeline = annotator.annotate_with_timeline(triple_level)
     annotator.reset()
     _, entity_timeline = annotator.annotate_with_timeline(entity_level)
@@ -336,9 +333,7 @@ def figure4_cost_fit(
     predicted = tuple(
         fit.model.cost_seconds(obs.num_entities, obs.num_triples) for obs in observations
     )
-    return Figure4Result(
-        observations=tuple(observations), fit=fit, predicted_seconds=predicted
-    )
+    return Figure4Result(observations=tuple(observations), fit=fit, predicted_seconds=predicted)
 
 
 # --------------------------------------------------------------------------- #
@@ -385,7 +380,9 @@ def table5_static_comparison(
         reference = _dataset(dataset_name, seed, movie_scale)
         for method in methods:
 
-            def trial(trial_seed: int, dataset_name=dataset_name, method=method) -> dict[str, float]:
+            def trial(
+                trial_seed: int, dataset_name=dataset_name, method=method
+            ) -> dict[str, float]:
                 data = _dataset(dataset_name, seed, movie_scale)
                 design = _make_design(method, data, trial_seed, second_stage_size)
                 return _run_static(design, data, config, trial_seed)
@@ -471,7 +468,12 @@ def figure5_confidence_sweep(
             per_method: dict[str, dict[str, TrialStatistics]] = {}
             for method in ("SRS", "TWCS"):
 
-                def trial(trial_seed: int, dataset_name=dataset_name, method=method, config=config) -> dict[str, float]:
+                def trial(
+                    trial_seed: int,
+                    dataset_name=dataset_name,
+                    method=method,
+                    config=config,
+                ) -> dict[str, float]:
                     data = _dataset(dataset_name, seed, movie_scale)
                     design = _make_design(method, data, trial_seed, second_stage_size)
                     return _run_static(design, data, config, trial_seed)
@@ -550,9 +552,7 @@ def figure6_optimal_m(
                 sizes, accuracies, m, config.moe_target, config.confidence_level
             )
             upper_cost = expected_twcs_cost_seconds(theoretical_draws, m, cost_model) / 3600.0
-            lower_cost = (
-                expected_twcs_cost_seconds(theoretical_draws, 1, cost_model) / 3600.0
-            )
+            lower_cost = expected_twcs_cost_seconds(theoretical_draws, 1, cost_model) / 3600.0
             row: dict[str, object] = {
                 "dataset": dataset_name,
                 "m": m,
@@ -598,7 +598,12 @@ def table7_stratification(
         num_strata = 2 if dataset_name == "NELL" else 4
         for method in ("SRS", "TWCS", "TWCS+SIZE", "TWCS+ORACLE"):
 
-            def trial(trial_seed: int, dataset_name=dataset_name, method=method, num_strata=num_strata) -> dict[str, float]:
+            def trial(
+                trial_seed: int,
+                dataset_name=dataset_name,
+                method=method,
+                num_strata=num_strata,
+            ) -> dict[str, float]:
                 data = _dataset(dataset_name, seed, movie_scale)
                 design = _make_design(
                     method, data, trial_seed, second_stage_size, num_strata=num_strata

@@ -17,7 +17,6 @@ import numpy as np
 
 from repro.generators.datasets import LabelledKG
 from repro.generators.synthetic_kg import sample_cluster_sizes
-from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
 from repro.kg.updates import UpdateBatch
 from repro.labels.oracle import LabelOracle
@@ -108,9 +107,7 @@ class UpdateWorkloadGenerator:
         remaining = num_new_entity_triples
         while remaining > 0:
             size = int(
-                sample_cluster_sizes(
-                    1, self.mean_cluster_size, self.size_skew, 200, self._rng
-                )[0]
+                sample_cluster_sizes(1, self.mean_cluster_size, self.size_skew, 200, self._rng)[0]
             )
             size = min(size, remaining)
             subject = self._new_entity_id()
@@ -127,15 +124,11 @@ class UpdateWorkloadGenerator:
             )
             for insert_index, entity_index in enumerate(chosen):
                 subject = self._existing_entities[int(entity_index)]
-                triples.append(
-                    Triple(subject, "insertedFact", f"{batch_id}_enrich_{insert_index}")
-                )
+                triples.append(Triple(subject, "insertedFact", f"{batch_id}_enrich_{insert_index}"))
 
         batch = UpdateBatch(batch_id, tuple(triples))
         draws = self._rng.random(len(triples))
-        labels = {
-            triple: bool(draw < accuracy) for triple, draw in zip(triples, draws)
-        }
+        labels = {triple: bool(draw < accuracy) for triple, draw in zip(triples, draws)}
         return batch, LabelOracle(labels)
 
     def generate_sequence(

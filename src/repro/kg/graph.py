@@ -38,7 +38,7 @@ import numpy as np
 from repro.kg.triple import Triple
 from repro.storage.backend import StorageBackend, make_backend
 
-__all__ = ["EntityCluster", "KnowledgeGraph"]
+__all__ = ["EntityCluster", "KnowledgeGraph", "sample_csr_positions_batch"]
 
 
 @dataclass(frozen=True)
@@ -89,6 +89,39 @@ def _floyd_sample_batch(sizes: np.ndarray, cap: int, rng: np.random.Generator) -
             t = np.where(collision, base + j, t)
         picks[:, j] = t
     return picks
+
+
+def sample_csr_positions_batch(
+    offsets: np.ndarray,
+    positions: np.ndarray,
+    rows: np.ndarray,
+    cap: int,
+    rng: np.random.Generator,
+) -> list[np.ndarray]:
+    """Second-stage sample of up to ``cap`` positions from each CSR cluster.
+
+    The vectorised core behind every position draw: cluster ``rows[i]`` owns
+    ``positions[offsets[rows[i]]:offsets[rows[i] + 1]]``; clusters no larger
+    than ``cap`` contribute their full (zero-copy) slice, larger clusters are
+    subsampled without replacement with one batched Floyd pass.  Works on any
+    CSR pair — a graph backend's index or an appended update segment — so the
+    evolving evaluators consume the same random stream on every backend.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    out: list[np.ndarray | None] = [None] * rows.shape[0]
+    starts = offsets[rows]
+    sizes = offsets[rows + 1] - starts
+    large = sizes > cap
+    for i in np.flatnonzero(~large):
+        start = int(starts[i])
+        out[i] = positions[start : start + int(sizes[i])]
+    large_indices = np.flatnonzero(large)
+    if large_indices.size:
+        picks = _floyd_sample_batch(sizes[large_indices], cap, rng)
+        chosen = positions[starts[large_indices][:, None] + picks]
+        for j, i in enumerate(large_indices):
+            out[i] = chosen[j]
+    return out  # type: ignore[return-value]
 
 
 class KnowledgeGraph:
@@ -153,7 +186,19 @@ class KnowledgeGraph:
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; return the number of new triples added."""
-        return sum(1 for t in triples if self.add(t))
+        return sum(self.add_batch(triples))
+
+    def add_batch(self, triples: Iterable[Triple]) -> list[bool]:
+        """Insert many triples; return one added-flag per input triple.
+
+        Delegates to the backend's bulk path (vectorised dedup on the delta
+        store) and invalidates the cached views once instead of per triple.
+        """
+        flags = self._backend.add_batch(triples)
+        if any(flags):
+            self._triples_view = None
+            self._entity_ids_view = None
+        return flags
 
     # ------------------------------------------------------------------ #
     # Size / membership
@@ -305,9 +350,7 @@ class KnowledgeGraph:
     def sample_triples(self, count: int, rng: np.random.Generator) -> list[Triple]:
         """Draw ``count`` triples uniformly at random without replacement."""
         if count > self.num_triples:
-            raise ValueError(
-                f"cannot draw {count} triples from a graph with {self.num_triples}"
-            )
+            raise ValueError(f"cannot draw {count} triples from a graph with {self.num_triples}")
         positions = rng.choice(self.num_triples, size=count, replace=False)
         return self._backend.triples_at(positions)
 
@@ -345,9 +388,9 @@ class KnowledgeGraph:
         backend it is still fully deterministic under a fixed seed.
         """
         rows = np.asarray(rows, dtype=np.int64)
-        out: list[np.ndarray | None] = [None] * rows.shape[0]
         csr = self._backend.csr_arrays()
         if csr is None:
+            out: list[np.ndarray | None] = [None] * rows.shape[0]
             for i, row in enumerate(rows):
                 positions = np.asarray(self._backend.cluster_positions_by_row(int(row)))
                 if positions.shape[0] <= cap:
@@ -356,19 +399,7 @@ class KnowledgeGraph:
                     out[i] = positions[rng.choice(positions.shape[0], size=cap, replace=False)]
             return out  # type: ignore[return-value]
         offsets, positions = csr
-        starts = offsets[rows]
-        sizes = offsets[rows + 1] - starts
-        large = sizes > cap
-        for i in np.flatnonzero(~large):
-            start = int(starts[i])
-            out[i] = positions[start : start + int(sizes[i])]
-        large_indices = np.flatnonzero(large)
-        if large_indices.size:
-            picks = _floyd_sample_batch(sizes[large_indices], cap, rng)
-            chosen = positions[starts[large_indices][:, None] + picks]
-            for j, i in enumerate(large_indices):
-                out[i] = chosen[j]
-        return out  # type: ignore[return-value]
+        return sample_csr_positions_batch(offsets, positions, rows, cap, rng)
 
     # ------------------------------------------------------------------ #
     # Storage conversion / persistence
@@ -383,11 +414,25 @@ class KnowledgeGraph:
         store.finalize()
         return KnowledgeGraph(name=name if name is not None else self.name, backend=store)
 
-    def save_snapshot(self, path: str | Path, compress: bool = False) -> Path:
-        """Persist the graph via :class:`~repro.storage.snapshot.SnapshotStore`."""
+    def save_snapshot(
+        self,
+        path: str | Path,
+        compress: bool = False,
+        labels: np.ndarray | None = None,
+        annotated: np.ndarray | None = None,
+    ) -> Path:
+        """Persist the graph via :class:`~repro.storage.snapshot.SnapshotStore`.
+
+        ``labels`` / ``annotated`` are optional position-aligned boolean
+        arrays saved next to the columns (snapshot format v2), so an
+        evaluation or monitoring run can stop and resume without
+        re-annotating.
+        """
         from repro.storage.snapshot import SnapshotStore
 
-        return SnapshotStore(path).save(self, name=self.name, compress=compress)
+        return SnapshotStore(path).save(
+            self, name=self.name, compress=compress, labels=labels, annotated=annotated
+        )
 
     @classmethod
     def from_snapshot(

@@ -65,9 +65,7 @@ def cluster_size_summary(graph: KnowledgeGraph) -> ClusterSizeSummary:
     )
 
 
-def entity_accuracy_by_size(
-    graph: KnowledgeGraph, labels: dict
-) -> list[tuple[str, int, float]]:
+def entity_accuracy_by_size(graph: KnowledgeGraph, labels: dict) -> list[tuple[str, int, float]]:
     """Return ``(entity_id, cluster_size, entity_accuracy)`` for each cluster.
 
     ``labels`` maps each :class:`~repro.kg.triple.Triple` to a boolean

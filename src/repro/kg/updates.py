@@ -93,8 +93,19 @@ class EvolvingKnowledgeGraph:
     """
 
     def __init__(self, base: KnowledgeGraph) -> None:
+        from repro.storage.columnar import ColumnarStore
+        from repro.storage.delta import DeltaStore
+
         self._base = base
-        self._current = base.copy(name=f"{base.name}+updates")
+        if isinstance(base.backend, ColumnarStore):
+            # Zero-copy evolution: layer an append-only delta view over the
+            # frozen columnar base instead of re-adding all M base triples.
+            # The base graph must not be mutated independently afterwards.
+            self._current = KnowledgeGraph(
+                name=f"{base.name}+updates", backend=DeltaStore(base.backend)
+            )
+        else:
+            self._current = base.copy(name=f"{base.name}+updates")
         self._batches: list[UpdateBatch] = []
 
     @property
@@ -117,10 +128,16 @@ class EvolvingKnowledgeGraph:
         """Number of update batches applied so far."""
         return len(self._batches)
 
-    def apply(self, batch: UpdateBatch) -> None:
-        """Apply one insertion batch to the current graph."""
-        self._current.add_all(batch.triples)
+    def apply(self, batch: UpdateBatch) -> list[bool]:
+        """Apply one insertion batch to the current graph.
+
+        Returns one added-flag per batch triple (``False`` for duplicates
+        that were already present), which is what the position-surface
+        evaluators need to map the batch onto its appended graph positions.
+        """
+        flags = self._current.add_batch(batch.triples)
         self._batches.append(batch)
+        return flags
 
     def apply_all(self, batches: Iterable[UpdateBatch]) -> None:
         """Apply a sequence of insertion batches in order."""

@@ -47,10 +47,7 @@ class RandomErrorModel:
     def generate(self, graph: KnowledgeGraph) -> LabelOracle:
         """Draw a label for every triple in ``graph`` and return an oracle."""
         draws = self._rng.random(graph.num_triples)
-        labels = {
-            triple: bool(draw >= self.error_rate)
-            for triple, draw in zip(graph, draws)
-        }
+        labels = {triple: bool(draw >= self.error_rate) for triple, draw in zip(graph, draws)}
         return LabelOracle(labels)
 
     @classmethod

@@ -40,6 +40,7 @@ from repro.sampling.optimal import (
 from repro.sampling.pilot import PilotResult, recommend_design, run_pilot
 from repro.sampling.rcs import RandomClusterDesign
 from repro.sampling.reservoir import ReservoirItem, WeightedReservoir
+from repro.sampling.segment import PositionSegment, SegmentTWCSDesign
 from repro.sampling.srs import SimpleRandomDesign
 from repro.sampling.stratification import (
     Stratum,
@@ -63,6 +64,8 @@ __all__ = [
     "TwoStageWeightedClusterDesign",
     "TwoStageRandomClusterDesign",
     "StratifiedTWCSDesign",
+    "PositionSegment",
+    "SegmentTWCSDesign",
     "PilotResult",
     "run_pilot",
     "recommend_design",

@@ -196,7 +196,7 @@ class SamplingDesign(ABC):
 
         Designs that have not been migrated to the position surface raise
         ``NotImplementedError``.  The five core designs (SRS, RCS, WCS,
-        TWCS, TSRCS) implement it; ``StratifiedTWCSDesign`` does not yet.
+        TWCS, TSRCS) and ``StratifiedTWCSDesign`` implement it.
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not implement the position draw surface"

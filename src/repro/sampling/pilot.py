@@ -104,9 +104,7 @@ def run_pilot(
         result = annotator.annotate_triples(unit.triples)
         design.update(unit, result.labels)
         sizes.append(unit.cluster_size)
-        accuracies.append(
-            sum(1 for t in unit.triples if result.labels[t]) / unit.num_triples
-        )
+        accuracies.append(sum(1 for t in unit.triples if result.labels[t]) / unit.num_triples)
     estimate = design.estimate()
     return PilotResult(
         cluster_sizes=tuple(sizes),

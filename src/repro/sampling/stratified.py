@@ -10,6 +10,15 @@ the stratum estimates are combined with the usual stratified estimator:
 When strata are internally homogeneous (clusters of similar accuracy grouped
 together) the combined variance is smaller than un-stratified TWCS at the same
 sample size, which is what buys the additional cost reduction in Table 7.
+
+The design exposes both draw surfaces.  The object surface materialises one
+sub-graph per stratum (built lazily on first use) and hands out Triple-backed
+units for annotation.  The position surface never materialises sub-graphs:
+each stratum keeps an array of parent-graph cluster rows, first-stage draws
+are allocated over the strata (proportionally to the stratum position/triple
+counts, or by Neyman allocation over the observed stratum spreads) and
+sampled straight from the parent graph's CSR index, so a snapshot-loaded
+columnar graph is stratified and sampled without a single Triple allocation.
 """
 
 from __future__ import annotations
@@ -21,10 +30,17 @@ import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
-from repro.sampling.base import Estimate, SampleUnit, SamplingDesign
+from repro.sampling.base import (
+    Estimate,
+    PositionUnit,
+    SampleUnit,
+    SamplingDesign,
+    segment_label_sums,
+)
 from repro.sampling.stratification import Stratum
 from repro.sampling.twcs import TwoStageWeightedClusterDesign
 from repro.stats.allocation import neyman_allocation, proportional_allocation
+from repro.stats.running import RunningMean
 
 __all__ = ["StratifiedTWCSDesign"]
 
@@ -70,9 +86,7 @@ class StratifiedTWCSDesign(SamplingDesign):
         allocation: str = "proportional",
     ) -> None:
         if allocation not in ("proportional", "neyman"):
-            raise ValueError(
-                f"allocation must be 'proportional' or 'neyman', got {allocation!r}"
-            )
+            raise ValueError(f"allocation must be 'proportional' or 'neyman', got {allocation!r}")
         populated = [stratum for stratum in strata if stratum.num_entities > 0]
         if not populated:
             raise ValueError("at least one non-empty stratum is required")
@@ -87,15 +101,57 @@ class StratifiedTWCSDesign(SamplingDesign):
             # Re-normalise: strata may describe a subset of the graph (e.g. the
             # update stratum of an evolving evaluation).
             self._weights = [weight / total_weight for weight in self._weights]
-        self._designs = [
-            TwoStageWeightedClusterDesign(
-                graph.subset(stratum.entity_ids, name=f"{graph.name}:{stratum.label}"),
-                second_stage_size=second_stage_size,
-                seed=self._rng,
-            )
-            for stratum in populated
-        ]
+        # Per-stratum estimator state, fed by both draw surfaces.
+        self._means = [RunningMean() for _ in populated]
+        self._triples = [0] * len(populated)
+        # Object surface: one sub-graph TWCS sampler per stratum, built lazily
+        # so position-only runs never pay for sub-graph materialisation.
+        self._designs_cache: list[TwoStageWeightedClusterDesign] | None = None
         self._unit_to_stratum: dict[int, int] = {}
+        # Position surface: parent-graph rows/sizes per stratum, built lazily.
+        self._rows_cache: list[np.ndarray] | None = None
+        self._row_weights_cache: list[np.ndarray] | None = None
+        self._row_stratum_cache: np.ndarray | None = None
+        self._sizes_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lazy per-surface state
+    # ------------------------------------------------------------------ #
+    @property
+    def _designs(self) -> list[TwoStageWeightedClusterDesign]:
+        if self._designs_cache is None:
+            self._designs_cache = [
+                TwoStageWeightedClusterDesign(
+                    self.graph.subset(
+                        stratum.entity_ids, name=f"{self.graph.name}:{stratum.label}"
+                    ),
+                    second_stage_size=self.second_stage_size,
+                    seed=self._rng,
+                )
+                for stratum in self._strata
+            ]
+        return self._designs_cache
+
+    def _ensure_position_state(self) -> None:
+        if self._rows_cache is not None:
+            return
+        graph = self.graph
+        self._sizes_cache = graph.cluster_size_array()
+        self._row_stratum_cache = np.full(graph.num_entities, -1, dtype=np.int64)
+        rows_per_stratum: list[np.ndarray] = []
+        weights_per_stratum: list[np.ndarray] = []
+        for index, stratum in enumerate(self._strata):
+            rows = np.fromiter(
+                (graph.entity_row(entity_id) for entity_id in stratum.entity_ids),
+                dtype=np.int64,
+                count=stratum.num_entities,
+            )
+            self._row_stratum_cache[rows] = index
+            sizes = self._sizes_cache[rows].astype(float)
+            rows_per_stratum.append(rows)
+            weights_per_stratum.append(sizes / sizes.sum())
+        self._rows_cache = rows_per_stratum
+        self._row_weights_cache = weights_per_stratum
 
     # ------------------------------------------------------------------ #
     # SamplingDesign interface
@@ -107,16 +163,25 @@ class StratifiedTWCSDesign(SamplingDesign):
 
     def reset(self) -> None:
         """Clear the per-stratum estimators."""
-        for design in self._designs:
-            design.reset()
+        self._means = [RunningMean() for _ in self._strata]
+        self._triples = [0] * len(self._strata)
         self._unit_to_stratum.clear()
+
+    def _stratum_estimate(self, index: int) -> Estimate:
+        mean = self._means[index]
+        return Estimate(
+            value=mean.mean,
+            std_error=mean.std_error,
+            num_units=mean.count,
+            num_triples=self._triples[index],
+        )
 
     def _allocate(self, count: int) -> list[int]:
         """Split a batch of ``count`` draws across strata per the allocation rule."""
         if self.allocation == "neyman":
             stds = []
-            for design in self._designs:
-                estimate = design.estimate()
+            for index in range(len(self._strata)):
+                estimate = self._stratum_estimate(index)
                 if estimate.num_units >= 2 and not math.isinf(estimate.std_error):
                     # Recover the stratum's cluster-accuracy standard deviation
                     # from its standard error of the mean.
@@ -142,11 +207,13 @@ class StratifiedTWCSDesign(SamplingDesign):
         return units
 
     def update(self, unit: SampleUnit, labels: dict[Triple, bool]) -> None:
-        """Route the unit's labels to the estimator of its stratum."""
+        """Fold the unit's labels into the estimator of its stratum."""
         stratum_index = self._unit_to_stratum.pop(id(unit), None)
         if stratum_index is None:
             stratum_index = self._stratum_of_entity(unit.entity_id)
-        self._designs[stratum_index].update(unit, labels)
+        num_correct = sum(1 for triple in unit.triples if labels[triple])
+        self._means[stratum_index].add(num_correct / unit.num_triples)
+        self._triples[stratum_index] += unit.num_triples
 
     def _stratum_of_entity(self, entity_id: str | None) -> int:
         if entity_id is None:
@@ -156,6 +223,74 @@ class StratifiedTWCSDesign(SamplingDesign):
                 return index
         raise KeyError(f"entity {entity_id!r} does not belong to any stratum")
 
+    # ------------------------------------------------------------------ #
+    # Position surface
+    # ------------------------------------------------------------------ #
+    def draw_positions(self, count: int) -> list[PositionUnit]:
+        """Draw ``count`` cluster units as position-only parent-graph views."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._ensure_position_state()
+        assert self._rows_cache is not None and self._row_weights_cache is not None
+        assert self._sizes_cache is not None
+        allocation = self._allocate(count)
+        units: list[PositionUnit] = []
+        for stratum_index, stratum_count in enumerate(allocation):
+            if stratum_count == 0:
+                continue
+            stratum_rows = self._rows_cache[stratum_index]
+            chosen = self._rng.choice(
+                stratum_rows.shape[0],
+                size=stratum_count,
+                replace=True,
+                p=self._row_weights_cache[stratum_index],
+            )
+            rows = stratum_rows[chosen]
+            batches = self.graph.sample_cluster_positions_batch(
+                rows, self.second_stage_size, self._rng
+            )
+            for row, positions in zip(rows, batches):
+                unit = PositionUnit(
+                    positions=positions,
+                    entity_row=int(row),
+                    cluster_size=int(self._sizes_cache[row]),
+                )
+                self._unit_to_stratum[id(unit)] = stratum_index
+                units.append(unit)
+        return units
+
+    def _stratum_of_position_unit(self, unit: PositionUnit) -> int:
+        stratum_index = self._unit_to_stratum.pop(id(unit), None)
+        if stratum_index is not None:
+            return stratum_index
+        self._ensure_position_state()
+        assert self._row_stratum_cache is not None
+        stratum_index = int(self._row_stratum_cache[unit.entity_row])
+        if stratum_index < 0:
+            raise KeyError(f"cluster row {unit.entity_row} does not belong to any stratum")
+        return stratum_index
+
+    def update_positions(self, unit: PositionUnit, labels: np.ndarray) -> None:
+        """Fold one position unit into its stratum's estimator."""
+        stratum_index = self._stratum_of_position_unit(unit)
+        self._means[stratum_index].add(float(labels.mean()))
+        self._triples[stratum_index] += int(labels.shape[0])
+
+    def update_all_positions(self, units: list[PositionUnit], label_array: np.ndarray) -> None:
+        """Vectorised batch update: one gather + segment reduction per stratum."""
+        if not units:
+            return
+        grouped: dict[int, list[PositionUnit]] = {}
+        for unit in units:
+            grouped.setdefault(self._stratum_of_position_unit(unit), []).append(unit)
+        for stratum_index, stratum_units in grouped.items():
+            counts, sums = segment_label_sums(stratum_units, label_array)
+            self._means[stratum_index].add_many(sums / counts)
+            self._triples[stratum_index] += int(counts.sum())
+
+    # ------------------------------------------------------------------ #
+    # Estimation
+    # ------------------------------------------------------------------ #
     def estimate(self) -> Estimate:
         """Eq. (13): weighted combination of the per-stratum TWCS estimates."""
         value = 0.0
@@ -163,8 +298,8 @@ class StratifiedTWCSDesign(SamplingDesign):
         num_units = 0
         num_triples = 0
         undetermined = False
-        for weight, design in zip(self._weights, self._designs):
-            stratum_estimate = design.estimate()
+        for index, weight in enumerate(self._weights):
+            stratum_estimate = self._stratum_estimate(index)
             num_units += stratum_estimate.num_units
             num_triples += stratum_estimate.num_triples
             value += weight * stratum_estimate.value
@@ -186,6 +321,6 @@ class StratifiedTWCSDesign(SamplingDesign):
     def stratum_estimates(self) -> list[tuple[Stratum, Estimate]]:
         """Return the current per-stratum estimates."""
         return [
-            (stratum, design.estimate())
-            for stratum, design in zip(self._strata, self._designs)
+            (stratum, self._stratum_estimate(index))
+            for index, stratum in enumerate(self._strata)
         ]

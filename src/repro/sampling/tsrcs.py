@@ -93,9 +93,7 @@ class TwoStageRandomClusterDesign(SamplingDesign):
         units = []
         for index in indices:
             entity_id = entity_ids[int(index)]
-            positions = graph.sample_cluster_positions(
-                entity_id, self.second_stage_size, self._rng
-            )
+            positions = graph.sample_cluster_positions(entity_id, self.second_stage_size, self._rng)
             units.append(
                 SampleUnit(
                     triples=tuple(graph.triples_at(positions)),
@@ -111,9 +109,7 @@ class TwoStageRandomClusterDesign(SamplingDesign):
         if count < 0:
             raise ValueError("count must be non-negative")
         rows = self._rng.integers(0, self._sizes.shape[0], size=count)
-        batches = self.graph.sample_cluster_positions_batch(
-            rows, self.second_stage_size, self._rng
-        )
+        batches = self.graph.sample_cluster_positions_batch(rows, self.second_stage_size, self._rng)
         sizes = self._sizes
         return [
             PositionUnit(positions=positions, entity_row=int(row), cluster_size=int(sizes[row]))
@@ -122,9 +118,7 @@ class TwoStageRandomClusterDesign(SamplingDesign):
 
     def update(self, unit: SampleUnit, labels: dict[Triple, bool]) -> None:
         """Add the size-reweighted value ``(N / M) * M_i * µ̂_i`` of one cluster."""
-        within_accuracy = (
-            sum(1 for triple in unit.triples if labels[triple]) / unit.num_triples
-        )
+        within_accuracy = sum(1 for triple in unit.triples if labels[triple]) / unit.num_triples
         scale = self.graph.num_entities / self.graph.num_triples
         self._values.add(scale * unit.cluster_size * within_accuracy)
         self._num_triples += unit.num_triples

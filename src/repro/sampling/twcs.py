@@ -92,16 +92,12 @@ class TwoStageWeightedClusterDesign(SamplingDesign):
         if count < 0:
             raise ValueError("count must be non-negative")
         entity_ids = self._entity_ids
-        indices = self._rng.choice(
-            len(entity_ids), size=count, replace=True, p=self._weights
-        )
+        indices = self._rng.choice(len(entity_ids), size=count, replace=True, p=self._weights)
         graph = self.graph
         units = []
         for index in indices:
             entity_id = entity_ids[int(index)]
-            positions = graph.sample_cluster_positions(
-                entity_id, self.second_stage_size, self._rng
-            )
+            positions = graph.sample_cluster_positions(entity_id, self.second_stage_size, self._rng)
             units.append(
                 SampleUnit(
                     triples=tuple(graph.triples_at(positions)),
@@ -116,12 +112,8 @@ class TwoStageWeightedClusterDesign(SamplingDesign):
         """Draw ``count`` cluster units as position-only views (no Triples)."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        rows = self._rng.choice(
-            self._sizes.shape[0], size=count, replace=True, p=self._weights
-        )
-        batches = self.graph.sample_cluster_positions_batch(
-            rows, self.second_stage_size, self._rng
-        )
+        rows = self._rng.choice(self._sizes.shape[0], size=count, replace=True, p=self._weights)
+        batches = self.graph.sample_cluster_positions_batch(rows, self.second_stage_size, self._rng)
         sizes = self._sizes
         return [
             PositionUnit(positions=positions, entity_row=int(row), cluster_size=int(sizes[row]))

@@ -89,9 +89,7 @@ def normal_interval(
     )
 
 
-def wilson_interval(
-    successes: int, trials: int, confidence_level: float
-) -> ConfidenceInterval:
+def wilson_interval(successes: int, trials: int, confidence_level: float) -> ConfidenceInterval:
     """Wilson score interval for a binomial proportion.
 
     More reliable than the Normal interval when the proportion is near 0 or 1
@@ -123,9 +121,7 @@ def wilson_interval(
     )
 
 
-def required_sample_size(
-    variance: float, moe_target: float, confidence_level: float
-) -> int:
+def required_sample_size(variance: float, moe_target: float, confidence_level: float) -> int:
     """Smallest ``n`` with ``z * sqrt(variance / n) <= moe_target``.
 
     This is the closed-form sample size ``n = variance * z^2 / eps^2`` used in

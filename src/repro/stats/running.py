@@ -56,6 +56,29 @@ class RunningMean:
         batch._m2 = float(((array - batch._mean) ** 2).sum())
         self.merge(batch)
 
+    def remove(self, value: float) -> None:
+        """Remove one previously added observation (inverse Welford update).
+
+        Lets a bounded accumulator (e.g. the reservoir evaluator's per-cluster
+        accuracy stats) stay O(1) per estimate read even when items are
+        evicted.  The caller must only remove values that were actually added;
+        numerical drift after many add/remove cycles is bounded by clamping
+        the second moment at zero.
+        """
+        if self._count == 0:
+            raise ValueError("cannot remove from an empty accumulator")
+        if self._count == 1:
+            self._count = 0
+            self._mean = 0.0
+            self._m2 = 0.0
+            return
+        mean_excl = (self._count * self._mean - value) / (self._count - 1)
+        self._m2 -= (value - mean_excl) * (value - self._mean)
+        if self._m2 < 0.0:
+            self._m2 = 0.0
+        self._mean = mean_excl
+        self._count -= 1
+
     def merge(self, other: "RunningMean") -> None:
         """Merge another accumulator into this one (parallel Welford merge)."""
         if other._count == 0:

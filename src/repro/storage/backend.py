@@ -31,7 +31,7 @@ loaded from a snapshot) and then sampled heavily.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -49,6 +49,14 @@ class StorageBackend(ABC):
     @abstractmethod
     def add(self, triple: Triple) -> bool:
         """Insert ``triple``; return ``True`` if it was not already present."""
+
+    def add_batch(self, triples: Iterable[Triple]) -> list[bool]:
+        """Insert many triples; return one added-flag per input triple.
+
+        The default loops over :meth:`add`; backends with a cheaper bulk path
+        (vectorised dedup, segment append) override it.
+        """
+        return [self.add(triple) for triple in triples]
 
     # ------------------------------------------------------------------ #
     # Size / membership

@@ -101,6 +101,23 @@ class Vocabulary:
             index[token] = token_id
         return token_id
 
+    def intern_many(self, items: Iterable[str]) -> list[int]:
+        """Bulk :meth:`intern` with the table lookups hoisted out of the loop."""
+        index = self._ensure_index()
+        tokens = self._ensure_list()
+        index_get = index.get
+        append = tokens.append
+        ids = []
+        ids_append = ids.append
+        for token in items:
+            token_id = index_get(token)
+            if token_id is None:
+                token_id = len(tokens)
+                append(token)
+                index[token] = token_id
+            ids_append(token_id)
+        return ids
+
     def id_of(self, token: str) -> int:
         """Return the id of ``token`` (``KeyError`` if never interned)."""
         return self._ensure_index()[token]
@@ -222,9 +239,7 @@ class ColumnarStore(StorageBackend):
         self._buf_o.append(object_id)
         self._buf_f.append(1 if is_entity_object else 0)
         if self._subject_row is None:
-            self._subject_row = {
-                sid: row for row, sid in enumerate(self._row_subjects_list)
-            }
+            self._subject_row = {sid: row for row, sid in enumerate(self._row_subjects_list)}
         row = self._subject_row.get(subject_id)
         if row is None:
             self._subject_row[subject_id] = len(self._row_subjects_list)
@@ -261,12 +276,16 @@ class ColumnarStore(StorageBackend):
         if not self._building and not dedupe:
             return self
         if self._building:
-            self._col_s = np.frombuffer(self._buf_s, dtype=np.int32).copy() if self._buf_s else np.empty(0, np.int32)
-            self._col_p = np.frombuffer(self._buf_p, dtype=np.int32).copy() if self._buf_p else np.empty(0, np.int32)
-            self._col_o = np.frombuffer(self._buf_o, dtype=np.int32).copy() if self._buf_o else np.empty(0, np.int32)
-            self._col_f = (
-                np.frombuffer(self._buf_f, dtype=np.uint8).astype(bool) if self._buf_f else np.empty(0, bool)
-            )
+
+            def consolidate(buffer, dtype):
+                if not buffer:
+                    return np.empty(0, dtype)
+                return np.frombuffer(buffer, dtype=dtype).copy()
+
+            self._col_s = consolidate(self._buf_s, np.int32)
+            self._col_p = consolidate(self._buf_p, np.int32)
+            self._col_o = consolidate(self._buf_o, np.int32)
+            self._col_f = consolidate(self._buf_f, np.uint8).astype(bool)
             self._buf_s = array("i")
             self._buf_p = array("i")
             self._buf_o = array("i")
@@ -288,7 +307,11 @@ class ColumnarStore(StorageBackend):
     def _first_occurrence_mask(self) -> np.ndarray:
         """Boolean mask keeping the first occurrence of each (s, p, o) key."""
         stacked = np.column_stack(
-            (self._col_s.astype(np.int32), self._col_p.astype(np.int32), self._col_o.astype(np.int32))
+            (
+                self._col_s.astype(np.int32),
+                self._col_p.astype(np.int32),
+                self._col_o.astype(np.int32),
+            )
         )
         stacked = np.ascontiguousarray(stacked)
         keys = stacked.view([("", np.int32)] * 3).ravel()
@@ -464,6 +487,23 @@ class ColumnarStore(StorageBackend):
         self._ensure_frozen()
         assert self._offsets is not None and self._positions is not None
         return self._offsets, self._positions
+
+    def row_subject_ids(self) -> np.ndarray:
+        """Row -> subject vocab id array (frozen mode)."""
+        self._ensure_frozen()
+        assert self._row_subjects_arr is not None
+        return self._row_subjects_arr
+
+    def subject_row_map(self) -> dict[int, int]:
+        """Subject vocab id -> row mapping (built lazily, cached)."""
+        self._ensure_frozen()
+        return self._ensure_subject_row()
+
+    def id_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The frozen ``(subjects, predicates, objects, flags)`` id columns."""
+        self._ensure_frozen()
+        assert self._col_s is not None
+        return self._col_s, self._col_p, self._col_o, self._col_f
 
     # ------------------------------------------------------------------ #
     # Snapshot support

@@ -1,0 +1,399 @@
+"""Append-only delta view over a frozen columnar store.
+
+Applying an update batch to a :class:`~repro.storage.columnar.ColumnarStore`
+would thaw it (one O(M) pass) and rebuild the CSR index on the next read
+(another O(M) pass) — per batch.  :class:`DeltaStore` instead layers growable
+*tail segments* on top of a frozen base store:
+
+* the base columns, CSR index and vocabulary are shared zero-copy (the base
+  must not be mutated independently afterwards; new strings are interned into
+  the shared vocabulary, which is append-only and keeps existing ids valid);
+* inserted triples receive positions ``M_base, M_base + 1, …`` in a compact
+  tail (``array`` buffers, as in the columnar building mode);
+* entity rows follow the standard backend contract: an insertion for an
+  existing subject extends that subject's base row, a new subject gets the
+  next row, so positions/rows match what an
+  :class:`~repro.storage.memory.InMemoryStore` fed the same triples would
+  report — the evolving evaluators rely on this for cross-backend estimate
+  parity;
+* bulk dedup (:meth:`add_batch`) is vectorised: batch keys are checked
+  against a sorted structured view of the base columns with one
+  ``searchsorted`` instead of a Python key-set over all M base triples.
+
+The merged graph-wide CSR index is only materialised if somebody asks for it
+(:meth:`csr_arrays`); the evolving evaluators never do — they sample the
+frozen base index and the per-batch segments directly.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.kg.triple import Triple
+from repro.storage.backend import StorageBackend
+from repro.storage.columnar import ColumnarStore
+
+__all__ = ["DeltaStore"]
+
+
+def _key_view(subjects: np.ndarray, predicates: np.ndarray, objects: np.ndarray) -> np.ndarray:
+    """Pack (s, p, o) id columns into a single comparable structured array."""
+    stacked = np.ascontiguousarray(
+        np.column_stack(
+            (
+                subjects.astype(np.int32, copy=False),
+                predicates.astype(np.int32, copy=False),
+                objects.astype(np.int32, copy=False),
+            )
+        )
+    )
+    return stacked.view([("", np.int32)] * 3).ravel()
+
+
+class DeltaStore(StorageBackend):
+    """A frozen :class:`ColumnarStore` plus append-only tail segments."""
+
+    def __init__(self, base: ColumnarStore) -> None:
+        base.finalize()
+        self.base = base
+        self._base_triples = base.num_triples
+        self._base_entities = base.num_entities
+        # Ids larger than every id used by the base columns cannot occur in
+        # the base, so a triple carrying one skips the base membership check
+        # (and typically the whole sorted-key build) entirely.  Derived from
+        # the columns, not the vocabulary, because the shared vocabulary may
+        # carry ids interned by other users of the base store.
+        if self._base_triples:
+            subjects, predicates, objects, _ = base.id_columns()
+            self._base_id_limit = 1 + max(
+                int(np.max(subjects)), int(np.max(predicates)), int(np.max(objects))
+            )
+        else:
+            self._base_id_limit = 0
+        # Tail columns (positions >= _base_triples), interned into base.vocab.
+        self._tail_s: array = array("i")
+        self._tail_p: array = array("i")
+        self._tail_o: array = array("i")
+        self._tail_f: array = array("B")
+        # Tail cluster bookkeeping: subject vocab id -> global tail positions.
+        self._tail_positions: dict[int, list[int]] = {}
+        self._new_subjects: list[int] = []
+        self._new_row_of: dict[int, int] = {}
+        # Dedup state: sorted base keys (built lazily, shared per base) plus a
+        # plain set for the (small) tail.
+        self._base_sorted_keys: np.ndarray | None = None
+        self._tail_keys: set[tuple[int, int, int]] = set()
+        # Caches invalidated by appends.
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
+        self._sizes: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Dedup helpers
+    # ------------------------------------------------------------------ #
+    def _ensure_base_keys(self) -> np.ndarray:
+        if self._base_sorted_keys is None:
+            subjects, predicates, objects, _ = self.base.id_columns()
+            self._base_sorted_keys = np.sort(_key_view(subjects, predicates, objects))
+        return self._base_sorted_keys
+
+    def _in_base(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised membership of packed keys against the base columns."""
+        base_keys = self._ensure_base_keys()
+        if base_keys.size == 0:
+            return np.zeros(keys.shape[0], dtype=bool)
+        index = np.searchsorted(base_keys, keys)
+        index = np.minimum(index, base_keys.size - 1)
+        return base_keys[index] == keys
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def _append_interned(
+        self, subject_id: int, predicate_id: int, object_id: int, flag: bool
+    ) -> None:
+        position = self._base_triples + len(self._tail_s)
+        self._tail_s.append(subject_id)
+        self._tail_p.append(predicate_id)
+        self._tail_o.append(object_id)
+        self._tail_f.append(1 if flag else 0)
+        tail = self._tail_positions.get(subject_id)
+        if tail is None:
+            self._tail_positions[subject_id] = [position]
+            if subject_id not in self.base.subject_row_map() and subject_id not in self._new_row_of:
+                self._new_row_of[subject_id] = self._base_entities + len(self._new_subjects)
+                self._new_subjects.append(subject_id)
+        else:
+            tail.append(position)
+        self._tail_keys.add((subject_id, predicate_id, object_id))
+        self._csr = None
+        self._sizes = None
+
+    def _maybe_in_base(self, subject_id: int, predicate_id: int, object_id: int) -> bool:
+        limit = self._base_id_limit
+        return subject_id < limit and predicate_id < limit and object_id < limit
+
+    def add(self, triple: Triple) -> bool:
+        vocab = self.base.vocab
+        subject_id = vocab.intern(triple.subject)
+        predicate_id = vocab.intern(triple.predicate)
+        object_id = vocab.intern(triple.obj)
+        key = (subject_id, predicate_id, object_id)
+        if key in self._tail_keys:
+            return False
+        if self._maybe_in_base(subject_id, predicate_id, object_id):
+            key_array = _key_view(
+                np.asarray([subject_id]), np.asarray([predicate_id]), np.asarray([object_id])
+            )
+            if bool(self._in_base(key_array)[0]):
+                return False
+        self._append_interned(subject_id, predicate_id, object_id, triple.is_entity_object)
+        return True
+
+    def add_batch(self, triples: Iterable[Triple]) -> list[bool]:
+        """Vectorised bulk insert: one membership pass for the whole batch."""
+        batch = list(triples)
+        if not batch:
+            return []
+        vocab = self.base.vocab
+        pre_batch_vocab = len(vocab)
+        subject_ids = vocab.intern_many(t.subject for t in batch)
+        predicate_ids = vocab.intern_many(t.predicate for t in batch)
+        object_ids = vocab.intern_many(t.obj for t in batch)
+        subject_arr = np.asarray(subject_ids, dtype=np.int64)
+        predicate_arr = np.asarray(predicate_ids, dtype=np.int64)
+        object_arr = np.asarray(object_ids, dtype=np.int64)
+        keys = _key_view(subject_arr, predicate_arr, object_arr)
+        # Base membership needs all three ids below the base columns' id
+        # ceiling; tail membership needs them interned before this batch.
+        # Typical insertion workloads carry fresh object strings and skip
+        # both checks (and the sorted-key build) entirely.
+        keep = np.ones(keys.shape[0], dtype=bool)
+        limit = self._base_id_limit
+        maybe_base = (subject_arr < limit) & (predicate_arr < limit) & (object_arr < limit)
+        base_indices = np.flatnonzero(maybe_base)
+        if base_indices.size:
+            keep[base_indices] = ~self._in_base(keys[base_indices])
+        if self._tail_keys:
+            maybe_tail = (
+                keep
+                & (subject_arr < pre_batch_vocab)
+                & (predicate_arr < pre_batch_vocab)
+                & (object_arr < pre_batch_vocab)
+            )
+            tail_keys = self._tail_keys
+            for i in np.flatnonzero(maybe_tail).tolist():
+                if (subject_ids[i], predicate_ids[i], object_ids[i]) in tail_keys:
+                    keep[i] = False
+        # Keep only the first occurrence of each key within the batch.
+        _, first = np.unique(keys, return_index=True)
+        first_mask = np.zeros(keys.shape[0], dtype=bool)
+        first_mask[first] = True
+        keep &= first_mask
+        kept = np.flatnonzero(keep)
+        if kept.size == 0:
+            return keep.tolist()
+        kept_list = kept.tolist()
+        kept_s = [subject_ids[i] for i in kept_list]
+        kept_p = [predicate_ids[i] for i in kept_list]
+        kept_o = [object_ids[i] for i in kept_list]
+        self._tail_keys.update(zip(kept_s, kept_p, kept_o))
+        self._tail_s.extend(kept_s)
+        self._tail_p.extend(kept_p)
+        self._tail_o.extend(kept_o)
+        self._tail_f.extend(1 if batch[i].is_entity_object else 0 for i in kept_list)
+        # Group the appended positions by subject: one pass over the unique
+        # subjects of the batch instead of one dict round-trip per triple.
+        start = self._base_triples + len(self._tail_s) - kept.size
+        positions = start + np.arange(kept.size, dtype=np.int64)
+        kept_subjects = subject_arr[kept]
+        order = np.argsort(kept_subjects, kind="stable")
+        sorted_subjects = kept_subjects[order]
+        sorted_positions = positions[order]
+        boundaries = np.flatnonzero(np.diff(sorted_subjects)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [kept.size]))
+        tail_positions = self._tail_positions
+        base_rows = self.base.subject_row_map()
+        new_row_of = self._new_row_of
+        new_subjects = self._new_subjects
+        sorted_position_list = sorted_positions.tolist()
+        for subject_id, lo, hi in zip(
+            sorted_subjects[starts].tolist(), starts.tolist(), ends.tolist()
+        ):
+            chunk = sorted_position_list[lo:hi]
+            existing = tail_positions.get(subject_id)
+            if existing is None:
+                tail_positions[subject_id] = chunk
+                if subject_id not in base_rows and subject_id not in new_row_of:
+                    new_row_of[subject_id] = self._base_entities + len(new_subjects)
+                    new_subjects.append(subject_id)
+            else:
+                existing.extend(chunk)
+        self._csr = None
+        self._sizes = None
+        return keep.tolist()
+
+    # ------------------------------------------------------------------ #
+    # Size / membership
+    # ------------------------------------------------------------------ #
+    @property
+    def num_triples(self) -> int:
+        return self._base_triples + len(self._tail_s)
+
+    @property
+    def num_entities(self) -> int:
+        return self._base_entities + len(self._new_subjects)
+
+    @property
+    def num_tail_triples(self) -> int:
+        """Triples appended on top of the frozen base."""
+        return len(self._tail_s)
+
+    def contains(self, triple: Triple) -> bool:
+        vocab = self.base.vocab
+        subject_id = vocab.get(triple.subject)
+        predicate_id = vocab.get(triple.predicate)
+        object_id = vocab.get(triple.obj)
+        if subject_id is None or predicate_id is None or object_id is None:
+            return False
+        if (subject_id, predicate_id, object_id) in self._tail_keys:
+            return True
+        key_array = _key_view(
+            np.asarray([subject_id]), np.asarray([predicate_id]), np.asarray([object_id])
+        )
+        return bool(self._in_base(key_array)[0])
+
+    # ------------------------------------------------------------------ #
+    # Positional triple access
+    # ------------------------------------------------------------------ #
+    def _materialise_tail(self, offset: int) -> Triple:
+        vocab = self.base.vocab
+        return Triple(
+            vocab[self._tail_s[offset]],
+            vocab[self._tail_p[offset]],
+            vocab[self._tail_o[offset]],
+            is_entity_object=bool(self._tail_f[offset]),
+        )
+
+    def triple_at(self, position: int) -> Triple:
+        if position < 0 or position >= self.num_triples:
+            raise IndexError(f"triple position {position} out of range")
+        if position < self._base_triples:
+            return self.base.triple_at(position)
+        return self._materialise_tail(position - self._base_triples)
+
+    def triples_at(self, positions: Sequence[int] | np.ndarray) -> list[Triple]:
+        return [self.triple_at(int(position)) for position in positions]
+
+    def iter_triples(self) -> Iterator[Triple]:
+        yield from self.base.iter_triples()
+        for offset in range(len(self._tail_s)):
+            yield self._materialise_tail(offset)
+
+    # ------------------------------------------------------------------ #
+    # Cluster access — entity-id keyed
+    # ------------------------------------------------------------------ #
+    def entity_ids(self) -> Sequence[str]:
+        vocab = self.base.vocab
+        return tuple(self.base.entity_ids()) + tuple(vocab[sid] for sid in self._new_subjects)
+
+    def has_entity(self, entity_id: str) -> bool:
+        subject_id = self.base.vocab.get(entity_id)
+        if subject_id is None:
+            return False
+        return subject_id in self.base.subject_row_map() or subject_id in self._new_row_of
+
+    def _subject_id_of(self, entity_id: str) -> int:
+        subject_id = self.base.vocab.get(entity_id)
+        if subject_id is None:
+            raise KeyError(entity_id)
+        return subject_id
+
+    def cluster_positions(self, entity_id: str) -> np.ndarray:
+        subject_id = self._subject_id_of(entity_id)
+        base_row = self.base.subject_row_map().get(subject_id)
+        tail = self._tail_positions.get(subject_id)
+        if base_row is not None:
+            base_positions = self.base.cluster_positions_by_row(base_row)
+            if tail is None:
+                return base_positions
+            return np.concatenate(
+                [np.asarray(base_positions, dtype=np.int64), np.asarray(tail, dtype=np.int64)]
+            )
+        if tail is None:
+            raise KeyError(entity_id)
+        return np.asarray(tail, dtype=np.int64)
+
+    def cluster_size(self, entity_id: str) -> int:
+        subject_id = self._subject_id_of(entity_id)
+        base_row = self.base.subject_row_map().get(subject_id)
+        tail = self._tail_positions.get(subject_id)
+        if base_row is None and tail is None:
+            raise KeyError(entity_id)
+        size = len(tail) if tail is not None else 0
+        if base_row is not None:
+            size += self.base.cluster_size(entity_id)
+        return size
+
+    # ------------------------------------------------------------------ #
+    # Cluster access — row keyed
+    # ------------------------------------------------------------------ #
+    def entity_row(self, entity_id: str) -> int:
+        subject_id = self._subject_id_of(entity_id)
+        base_row = self.base.subject_row_map().get(subject_id)
+        if base_row is not None:
+            return base_row
+        return self._new_row_of[subject_id]
+
+    def entity_id_of_row(self, row: int) -> str:
+        if row < self._base_entities:
+            return self.base.entity_id_of_row(row)
+        return self.base.vocab[self._new_subjects[row - self._base_entities]]
+
+    def cluster_positions_by_row(self, row: int) -> np.ndarray:
+        return self.cluster_positions(self.entity_id_of_row(row))
+
+    def cluster_size_array(self) -> np.ndarray:
+        if self._sizes is None:
+            sizes = np.concatenate(
+                [
+                    self.base.cluster_size_array(),
+                    np.zeros(len(self._new_subjects), dtype=np.int64),
+                ]
+            )
+            subject_rows = self.base.subject_row_map()
+            for subject_id, tail in self._tail_positions.items():
+                base_row = subject_rows.get(subject_id)
+                row = base_row if base_row is not None else self._new_row_of[subject_id]
+                sizes[row] += len(tail)
+            self._sizes = sizes
+        return self._sizes
+
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Merged base + tail CSR index, materialised lazily and cached.
+
+        Costs one O(M) pass after the latest append; the evolving evaluators
+        avoid it by sampling the frozen base index and their own per-batch
+        segments, but whole-graph samplers (e.g. a static TWCS run over the
+        evolved graph) still get the vectorised path.
+        """
+        if self._csr is None:
+            base_offsets, base_positions = self.base.csr_arrays()
+            rows_by_position = np.empty(self.num_triples, dtype=np.int64)
+            base_rows = np.repeat(
+                np.arange(self._base_entities, dtype=np.int64), np.diff(base_offsets)
+            )
+            rows_by_position[np.asarray(base_positions, dtype=np.int64)] = base_rows
+            subject_rows = self.base.subject_row_map()
+            for subject_id, tail in self._tail_positions.items():
+                base_row = subject_rows.get(subject_id)
+                row = base_row if base_row is not None else self._new_row_of[subject_id]
+                rows_by_position[tail] = row
+            sizes = self.cluster_size_array()
+            offsets = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+            positions = np.argsort(rows_by_position, kind="stable").astype(np.int64)
+            self._csr = (offsets, positions)
+        return self._csr

@@ -33,6 +33,10 @@ class InMemoryStore(StorageBackend):
         #: entity id -> row, built lazily (only the row-keyed API needs it).
         self._row_of: dict[str, int] | None = None
         self._rows: list[str] | None = None
+        #: cached (offsets, positions) CSR view, built lazily and invalidated
+        #: by `add`; keeps the vectorised batch samplers on the same code
+        #: path (and random stream) as the columnar backend.
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -41,6 +45,7 @@ class InMemoryStore(StorageBackend):
         key = triple.as_tuple()
         if key in self._triple_set:
             return False
+        self._csr = None
         self._triple_set.add(key)
         position = len(self._triples)
         self._triples.append(triple)
@@ -122,3 +127,16 @@ class InMemoryStore(StorageBackend):
             dtype=np.int64,
             count=len(self._cluster_index),
         )
+
+    def csr_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._csr is None:
+            sizes = self.cluster_size_array()
+            offsets = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+            if self._triples:
+                positions = np.concatenate(
+                    [np.asarray(p, dtype=np.int64) for p in self._cluster_index.values()]
+                )
+            else:
+                positions = np.empty(0, dtype=np.int64)
+            self._csr = (offsets, positions)
+        return self._csr

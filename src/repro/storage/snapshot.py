@@ -13,7 +13,7 @@ target path:
   (``np.load(..., mmap_mode="r")``), so the resident footprint of a loaded
   graph is only the pages the sampler actually touches.
 
-Array names (both layouts, ``format_version`` 1):
+Array names (both layouts, ``format_version`` 2):
 
 ==================  ======================================================
 ``subjects``        ``int32 (M,)`` interned subject ids
@@ -25,7 +25,17 @@ Array names (both layouts, ``format_version`` 1):
 ``cluster_positions`` ``int32 (M,)`` CSR triple positions
 ``row_subjects``    ``int32 (N,)`` row -> subject vocab id
 ``meta``            ``str_ (2,)`` graph name, format version
+``labels``          ``bool (M,)`` position-aligned ground-truth labels
+                    *(optional, v2)*
+``annotated``       ``bool (M,)`` positions annotated so far *(optional,
+                    v2)*
 ==================  ======================================================
+
+Format v2 adds the two optional boolean arrays, so an evaluation or
+monitoring run can persist its label oracle (and annotation progress) next to
+the graph and resume later without re-annotating.  Format v1 snapshots (no
+``labels`` / ``annotated`` arrays) still load; :meth:`SnapshotStore.
+load_labels` simply returns ``None`` for them.
 """
 
 from __future__ import annotations
@@ -38,7 +48,7 @@ from repro.storage.columnar import ColumnarStore, Vocabulary
 
 __all__ = ["SnapshotStore"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 _ARRAY_NAMES = (
     "subjects",
     "predicates",
@@ -49,6 +59,8 @@ _ARRAY_NAMES = (
     "cluster_positions",
     "row_subjects",
 )
+#: Optional v2 arrays; absent from v1 snapshots and legal to omit in v2.
+_OPTIONAL_ARRAY_NAMES = ("labels", "annotated")
 
 
 class SnapshotStore:
@@ -79,14 +91,34 @@ class SnapshotStore:
     # ------------------------------------------------------------------ #
     # Save
     # ------------------------------------------------------------------ #
-    def save(self, source, name: str | None = None, compress: bool = False) -> Path:
+    def save(
+        self,
+        source,
+        name: str | None = None,
+        compress: bool = False,
+        labels: np.ndarray | None = None,
+        annotated: np.ndarray | None = None,
+    ) -> Path:
         """Persist ``source`` (a ``ColumnarStore`` or ``KnowledgeGraph``).
 
         Graphs on a non-columnar backend are converted on the fly.  Returns
         the path written.  ``compress`` only applies to the ``.npz`` layout.
+        ``labels`` / ``annotated`` are optional position-aligned boolean
+        arrays stored next to the columns (format v2).
         """
         store, graph_name = _as_store(source)
         arrays = dict(store.columns())
+        num_triples = int(arrays["subjects"].shape[0])
+        for array_name, optional in zip(_OPTIONAL_ARRAY_NAMES, (labels, annotated)):
+            if optional is None:
+                continue
+            optional = np.asarray(optional, dtype=bool)
+            if optional.shape[0] != num_triples:
+                raise ValueError(
+                    f"{array_name} must have one entry per triple "
+                    f"({optional.shape[0]} != {num_triples})"
+                )
+            arrays[array_name] = optional
         arrays["meta"] = np.asarray(
             [name if name is not None else graph_name, str(_FORMAT_VERSION)], dtype=np.str_
         )
@@ -131,7 +163,9 @@ class SnapshotStore:
             meta = np.load(self.path / "meta.npy")
         version = int(str(meta[1]))
         if version > _FORMAT_VERSION:
-            raise ValueError(f"snapshot format v{version} is newer than supported v{_FORMAT_VERSION}")
+            raise ValueError(
+                f"snapshot format v{version} is newer than supported v{_FORMAT_VERSION}"
+            )
         store = ColumnarStore.from_arrays(
             Vocabulary(arrays["vocab"]),
             arrays["subjects"],
@@ -143,6 +177,27 @@ class SnapshotStore:
             row_subjects=arrays["row_subjects"],
         )
         return store, str(meta[0])
+
+    def _load_optional(self, array_name: str, mmap: bool = False) -> np.ndarray | None:
+        if not self.exists():
+            raise FileNotFoundError(f"no snapshot at {self.path}")
+        if self.is_archive:
+            with np.load(self.path, allow_pickle=False) as archive:
+                if array_name not in archive.files:
+                    return None
+                return archive[array_name]
+        target = self.path / f"{array_name}.npy"
+        if not target.is_file():
+            return None
+        return np.load(target, mmap_mode="r" if mmap else None)
+
+    def load_labels(self, mmap: bool = False) -> np.ndarray | None:
+        """The persisted position-aligned label array, or ``None`` (v1)."""
+        return self._load_optional("labels", mmap=mmap)
+
+    def load_annotated(self, mmap: bool = False) -> np.ndarray | None:
+        """The persisted annotated-positions mask, or ``None`` (v1)."""
+        return self._load_optional("annotated", mmap=mmap)
 
     def load_graph(self, mmap: bool = False, name: str | None = None):
         """Reopen the snapshot as a :class:`~repro.kg.graph.KnowledgeGraph`."""

@@ -91,9 +91,7 @@ class TestKGEvalBaseline:
         assert result.coverage >= 0.9
         assert 0.0 <= result.estimated_accuracy <= 1.0
         assert result.num_annotated + result.num_inferred >= 0.9 * graph.num_triples
-        assert result.annotation_cost_seconds == pytest.approx(
-            annotator.total_cost_seconds
-        )
+        assert result.annotation_cost_seconds == pytest.approx(annotator.total_cost_seconds)
 
     def test_annotation_budget_respected(self, nell):
         annotator = SimulatedAnnotator(nell.oracle)
@@ -122,9 +120,7 @@ class TestKGEvalBaseline:
         baseline = KGEvalBaseline(graph, SimulatedAnnotator(oracle))
         result = baseline.run()
         assert result.machine_time_seconds > 0.0
-        assert result.annotation_cost_hours == pytest.approx(
-            result.annotation_cost_seconds / 3600
-        )
+        assert result.annotation_cost_hours == pytest.approx(result.annotation_cost_seconds / 3600)
 
     def test_zero_coupling_degenerates_to_exhaustive_annotation(self):
         """With no coupling evidence the baseline must annotate (almost) everything."""
@@ -138,7 +134,9 @@ class TestKGEvalBaseline:
             predicate_weight=0.0,
             seed=0,
         )
-        baseline = KGEvalBaseline(kg, SimulatedAnnotator(oracle), builder=builder, coverage_target=1.0)
+        baseline = KGEvalBaseline(
+            kg, SimulatedAnnotator(oracle), builder=builder, coverage_target=1.0
+        )
         result = baseline.run()
         assert result.num_annotated == 20
         assert result.num_inferred == 0

@@ -85,3 +85,71 @@ class TestCommands:
             movie_scale = 0.004
 
         assert cli._cmd_experiment(FakeArgs()) == 2
+
+
+class TestMonitorCommand:
+    def test_monitor_columnar_runs_and_prints_trajectory(self, capsys):
+        exit_code = main(
+            [
+                "monitor",
+                "--dataset",
+                "nell",
+                "--backend",
+                "columnar",
+                "--batches",
+                "2",
+                "--seed",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "position surface" in out
+        assert "total-cost(h)" in out
+        # One record line per state: base + 2 batches.
+        assert len([line for line in out.splitlines() if line.startswith("    ")]) == 3
+
+    def test_monitor_snapshot_save_then_resume(self, capsys, tmp_path):
+        target = str(tmp_path / "base-snap")
+        args = [
+            "monitor",
+            "--dataset",
+            "nell",
+            "--backend",
+            "columnar",
+            "--batches",
+            "1",
+            "--seed",
+            "2",
+            "--snapshot",
+            target,
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "snapshot saved" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "reopened from" in second
+        # Identical trajectory on resume: same seed, same persisted labels.
+        def trajectory(text: str) -> str:
+            return text[text.index("batch  estimate") :]
+
+        assert trajectory(first) == trajectory(second)
+
+
+class TestSnapshotEvaluateRoundTrip:
+    def test_evaluate_from_labelled_snapshot(self, capsys, tmp_path):
+        target = str(tmp_path / "nell.npz")
+        assert main(["snapshot", "--dataset", "nell", "--out", target, "--with-labels"]) == 0
+        capsys.readouterr()
+        exit_code = main(["evaluate", "--from-snapshot", target, "--seed", "4"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "estimated accuracy" in out
+
+    def test_evaluate_from_snapshot_without_labels_fails(self, capsys, tmp_path):
+        target = str(tmp_path / "bare.npz")
+        assert main(["snapshot", "--dataset", "nell", "--out", target]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--from-snapshot", target])

@@ -87,9 +87,7 @@ class TestStaticEvaluator:
         assert report.annotation_cost_seconds == pytest.approx(annotator.total_cost_seconds)
         assert report.num_triples_annotated == annotator.total_triples_annotated
         assert report.num_entities_identified == annotator.entities_identified
-        assert report.annotation_cost_hours == pytest.approx(
-            report.annotation_cost_seconds / 3600
-        )
+        assert report.annotation_cost_hours == pytest.approx(report.annotation_cost_seconds / 3600)
 
     def test_run_with_reset_false_continues_previous_state(self, nell):
         design = TwoStageWeightedClusterDesign(nell.graph, second_stage_size=5, seed=2)

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.config import EvaluationConfig
 from repro.evolving.baseline import BaselineEvolvingEvaluator
 from repro.evolving.monitor import EvolvingAccuracyMonitor
 from repro.evolving.reservoir_eval import ReservoirIncrementalEvaluator
@@ -162,9 +161,7 @@ class TestStratifiedEvaluator:
         assert stratum_ids[0] == "base"
 
     def test_min_units_per_stratum_enforced(self, evolving_base):
-        evaluator = StratifiedIncrementalEvaluator(
-            evolving_base, min_units_per_stratum=8, seed=4
-        )
+        evaluator = StratifiedIncrementalEvaluator(evolving_base, min_units_per_stratum=8, seed=4)
         evaluator.evaluate_base()
         batch, batch_oracle = make_update(evolving_base, 400, 0.9, seed=4)
         evaluator.apply_update(batch, batch_oracle)

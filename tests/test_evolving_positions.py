@@ -1,0 +1,472 @@
+"""Position-surface evolving evaluation: delta store, segments, backend parity.
+
+The core contract under test: a position-mode incremental evaluator consumes
+the random stream identically on every storage backend, so a fixed seed must
+produce bit-identical estimate trajectories on the seed in-memory store and
+on the columnar store evolved through a :class:`DeltaStore` view — for *any*
+update sequence (hypothesis-generated), including duplicate insertions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EvaluationConfig
+from repro.cost.annotator import PositionAnnotationAccount
+from repro.cost.model import CostModel
+from repro.evolving.reservoir_eval import ReservoirIncrementalEvaluator
+from repro.evolving.stratified_eval import StratifiedIncrementalEvaluator
+from repro.generators.datasets import LabelledKG
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+from repro.kg.updates import EvolvingKnowledgeGraph, UpdateBatch
+from repro.labels.oracle import LabelOracle
+from repro.sampling.segment import PositionSegment, SegmentTWCSDesign
+from repro.stats.running import RunningMean
+from repro.storage.columnar import ColumnarStore
+from repro.storage.delta import DeltaStore
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+cluster_spec = st.lists(
+    st.tuples(st.integers(min_value=1, max_value=10), st.floats(min_value=0.0, max_value=1.0)),
+    min_size=1,
+    max_size=15,
+)
+
+# Each batch: a list of (subject selector, cluster size, accuracy, duplicate?).
+batch_spec = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_base(spec: list[tuple[int, float]]) -> tuple[list[Triple], dict[Triple, bool]]:
+    triples: list[Triple] = []
+    labels: dict[Triple, bool] = {}
+    for entity_index, (size, accuracy) in enumerate(spec):
+        num_correct = int(round(size * accuracy))
+        for triple_index in range(size):
+            triple = Triple(f"e{entity_index}", "p", f"o{entity_index}_{triple_index}")
+            triples.append(triple)
+            labels[triple] = triple_index < num_correct
+    return triples, labels
+
+
+def build_updates(
+    spec: list[tuple[int, float]],
+    batch_specs: list[list[tuple[int, int, float, bool]]],
+    base_triples: list[Triple],
+) -> list[tuple[UpdateBatch, LabelOracle]]:
+    updates = []
+    counter = 0
+    for batch_index, entries in enumerate(batch_specs):
+        triples: list[Triple] = []
+        labels: dict[Triple, bool] = {}
+        for selector, size, accuracy, duplicate in entries:
+            if duplicate and base_triples:
+                # Re-insert an existing triple: both backends must skip it
+                # identically (it keeps its original label).
+                triples.append(base_triples[selector % len(base_triples)])
+                continue
+            subject = f"e{selector % (len(spec) + 8)}"
+            num_correct = int(round(size * accuracy))
+            for j in range(size):
+                triple = Triple(subject, "ins", f"new_{counter}")
+                counter += 1
+                triples.append(triple)
+                labels[triple] = j < num_correct
+        updates.append(
+            (UpdateBatch(f"delta-{batch_index}", tuple(triples)), LabelOracle(labels, strict=False))
+        )
+    return updates
+
+
+def run_position_evaluator(evaluator_cls, base: LabelledKG, updates, seed: int, **kwargs):
+    config = EvaluationConfig(moe_target=0.15, batch_size=5, min_units=5, max_units=40)
+    evaluator = evaluator_cls(base, config=config, seed=seed, surface="position", **kwargs)
+    states = [evaluator.evaluate_base()]
+    for batch, batch_oracle in updates:
+        states.append(evaluator.apply_update(batch, batch_oracle))
+    trail = [
+        (
+            state.accuracy,
+            state.report.margin_of_error,
+            state.report.num_triples_annotated,
+            state.cumulative_cost_seconds,
+        )
+        for state in states
+    ]
+    return evaluator, trail
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend parity
+# ---------------------------------------------------------------------------
+
+
+class TestBackendParity:
+    @given(
+        spec=cluster_spec,
+        batch_specs=st.lists(batch_spec, min_size=1, max_size=3),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_stratified_estimates_bit_identical(self, spec, batch_specs, seed):
+        base_triples, base_labels = build_base(spec)
+        updates = build_updates(spec, batch_specs, base_triples)
+        oracle = LabelOracle(base_labels)
+
+        memory_base = LabelledKG(KnowledgeGraph(base_triples, name="p"), oracle)
+        columnar_graph = KnowledgeGraph(base_triples, name="p").to_columnar()
+        columnar_base = LabelledKG(columnar_graph, oracle)
+
+        mem_eval, memory_trail = run_position_evaluator(
+            StratifiedIncrementalEvaluator, memory_base, updates, seed
+        )
+        col_eval, columnar_trail = run_position_evaluator(
+            StratifiedIncrementalEvaluator, columnar_base, updates, seed
+        )
+        assert isinstance(col_eval.evolving.current.backend, DeltaStore)
+        assert memory_trail == columnar_trail
+        assert mem_eval.current_true_accuracy() == col_eval.current_true_accuracy()
+
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_reservoir_estimates_bit_identical(self, seed):
+        spec = [(6, 0.9), (3, 0.5), (9, 1.0), (1, 0.0), (4, 0.75)] * 4
+        base_triples, base_labels = build_base(spec)
+        batch_specs = [[(i, 3, 0.6, False), (i + 1, 2, 0.9, False)] for i in range(3)]
+        updates = build_updates(spec, batch_specs, base_triples)
+        oracle = LabelOracle(base_labels)
+
+        memory_base = LabelledKG(KnowledgeGraph(base_triples, name="p"), oracle)
+        columnar_base = LabelledKG(KnowledgeGraph(base_triples, name="p").to_columnar(), oracle)
+        _, memory_trail = run_position_evaluator(
+            ReservoirIncrementalEvaluator, memory_base, updates, seed
+        )
+        _, columnar_trail = run_position_evaluator(
+            ReservoirIncrementalEvaluator, columnar_base, updates, seed
+        )
+        assert memory_trail == columnar_trail
+
+    def test_position_labels_short_circuits_oracle(self):
+        spec = [(5, 0.8), (4, 1.0), (6, 0.5)]
+        base_triples, base_labels = build_base(spec)
+        graph = KnowledgeGraph(base_triples, name="p").to_columnar()
+        label_array = np.asarray([base_labels[t] for t in graph.triples], dtype=bool)
+        # A stub oracle suffices when the label array is supplied directly.
+        base = LabelledKG(graph, LabelOracle({}, strict=False))
+        updates = build_updates(spec, [[(0, 2, 1.0, False)]], base_triples)
+        evaluator, trail = run_position_evaluator(
+            StratifiedIncrementalEvaluator, base, updates, seed=3, position_labels=label_array
+        )
+        assert evaluator.current_true_accuracy() == pytest.approx(
+            (label_array.sum() + 2) / (label_array.shape[0] + 2)
+        )
+        assert all(0.0 <= accuracy <= 1.0 for accuracy, *_ in trail)
+
+
+# ---------------------------------------------------------------------------
+# DeltaStore contract
+# ---------------------------------------------------------------------------
+
+
+def reference_store(triples: list[Triple]) -> KnowledgeGraph:
+    return KnowledgeGraph(triples, name="ref")
+
+
+class TestDeltaStore:
+    def make_pair(self, base_triples: list[Triple]):
+        base = ColumnarStore.from_graph(base_triples).finalize()
+        return DeltaStore(base), base
+
+    def test_zero_copy_view_of_base(self):
+        base_triples, _ = build_base([(3, 1.0), (2, 0.5)])
+        delta, base = self.make_pair(base_triples)
+        assert delta.num_triples == base.num_triples
+        assert delta.num_entities == base.num_entities
+        assert list(delta.iter_triples()) == base_triples
+        assert delta.num_tail_triples == 0
+
+    def test_duplicate_inserts_rejected(self):
+        base_triples, _ = build_base([(3, 1.0), (2, 0.5)])
+        delta, _ = self.make_pair(base_triples)
+        assert delta.add_batch(base_triples) == [False] * len(base_triples)
+        fresh = Triple("e0", "ins", "x0")
+        assert delta.add(fresh) is True
+        assert delta.add(fresh) is False
+        # Cross-batch duplicate: the same triple arriving in a later batch.
+        assert delta.add_batch([fresh, Triple("e9", "ins", "x1")]) == [False, True]
+        # Within-batch duplicate keeps the first occurrence only.
+        twin = Triple("e9", "ins", "x2")
+        assert delta.add_batch([twin, twin]) == [True, False]
+
+    def test_matches_reference_backend_after_updates(self):
+        base_triples, _ = build_base([(4, 1.0), (1, 0.0), (6, 0.5)])
+        delta, _ = self.make_pair(base_triples)
+        inserts = [
+            Triple("e1", "ins", "n0"),  # enrich existing entity
+            Triple("zz", "ins", "n1"),  # brand-new entity
+            Triple("e0", "ins", "n2"),
+            Triple("zz", "ins", "n3"),
+        ]
+        delta.add_batch(inserts[:2])
+        delta.add_batch(inserts[2:])
+        reference = reference_store(base_triples + inserts)
+
+        assert delta.num_triples == reference.num_triples
+        assert delta.num_entities == reference.num_entities
+        assert tuple(delta.entity_ids()) == tuple(reference.entity_ids)
+        for entity_id in reference.entity_ids:
+            assert delta.entity_row(entity_id) == reference.entity_row(entity_id)
+            np.testing.assert_array_equal(
+                np.asarray(delta.cluster_positions(entity_id)),
+                np.asarray(reference.cluster_positions(entity_id)),
+            )
+            assert delta.cluster_size(entity_id) == reference.cluster_size(entity_id)
+        np.testing.assert_array_equal(delta.cluster_size_array(), reference.cluster_size_array())
+        assert list(delta.iter_triples()) == list(reference)
+        for triple in reference:
+            assert delta.contains(triple)
+        assert not delta.contains(Triple("nope", "nope", "nope"))
+
+    def test_merged_csr_matches_fresh_columnar_build(self):
+        base_triples, _ = build_base([(4, 1.0), (2, 0.0)])
+        delta, _ = self.make_pair(base_triples)
+        inserts = [Triple("e0", "ins", "a"), Triple("q", "ins", "b"), Triple("e1", "ins", "c")]
+        delta.add_batch(inserts)
+        rebuilt = ColumnarStore.from_graph(base_triples + inserts).finalize()
+        offsets, positions = delta.csr_arrays()
+        expected_offsets, expected_positions = rebuilt.csr_arrays()
+        np.testing.assert_array_equal(np.asarray(offsets), np.asarray(expected_offsets))
+        np.testing.assert_array_equal(np.asarray(positions), np.asarray(expected_positions))
+
+    def test_triple_positions_stable_across_appends(self):
+        base_triples, _ = build_base([(2, 1.0)])
+        delta, _ = self.make_pair(base_triples)
+        delta.add(Triple("e0", "ins", "t0"))
+        assert delta.triple_at(2) == Triple("e0", "ins", "t0")
+        assert delta.triple_at(0) == base_triples[0]
+        with pytest.raises(IndexError):
+            delta.triple_at(3)
+
+    def test_evolving_graph_uses_delta_store_on_columnar_base(self):
+        base_triples, _ = build_base([(3, 1.0)])
+        columnar = KnowledgeGraph(base_triples, name="b").to_columnar()
+        evolving = EvolvingKnowledgeGraph(columnar)
+        assert isinstance(evolving.current.backend, DeltaStore)
+        flags = evolving.apply(UpdateBatch("d", (Triple("e0", "ins", "x"), base_triples[0])))
+        assert flags == [True, False]
+        assert evolving.current.num_triples == columnar.num_triples + 1
+        # The frozen base graph is untouched.
+        assert columnar.num_triples == len(base_triples)
+
+
+# ---------------------------------------------------------------------------
+# Position segments
+# ---------------------------------------------------------------------------
+
+
+class TestPositionSegment:
+    def test_from_batch_groups_by_subject(self):
+        triples = (
+            Triple("a", "p", "1"),
+            Triple("b", "p", "2"),
+            Triple("a", "p", "3"),
+            Triple("c", "p", "4"),
+        )
+        segment = PositionSegment.from_batch(triples, [True, True, True, False], 100)
+        assert segment.subjects == ("a", "b")
+        assert segment.num_clusters == 3 - 1  # "c" was a duplicate
+        np.testing.assert_array_equal(segment.cluster_positions(0), [100, 102])
+        np.testing.assert_array_equal(segment.cluster_positions(1), [101])
+        assert segment.num_triples == 3
+        np.testing.assert_array_equal(segment.sizes(), [2, 1])
+
+    def test_segment_design_estimates_population(self):
+        triples = tuple(Triple(f"s{i // 4}", "p", f"o{i}") for i in range(40))
+        segment = PositionSegment.from_batch(triples, [True] * 40, 0)
+        label_array = np.zeros(40, dtype=bool)
+        label_array[:30] = True  # 75 % accurate
+        design = SegmentTWCSDesign(segment, second_stage_size=3, seed=0)
+        design.update_all_positions(design.draw_positions(300), label_array)
+        estimate = design.estimate()
+        assert estimate.value == pytest.approx(0.75, abs=0.1)
+        assert estimate.num_units == 300
+
+    def test_empty_segment_rejected(self):
+        segment = PositionSegment.from_batch((), [], 0)
+        with pytest.raises(ValueError):
+            SegmentTWCSDesign(segment)
+
+
+# ---------------------------------------------------------------------------
+# Running stats / account
+# ---------------------------------------------------------------------------
+
+
+class TestRunningMeanRemove:
+    @given(
+        st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=60),
+        st.integers(min_value=0, max_value=59),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_remove_matches_recompute(self, values, remove_index):
+        remove_index %= len(values)
+        running = RunningMean()
+        running.add_all(values)
+        running.remove(values[remove_index])
+        remaining = values[:remove_index] + values[remove_index + 1 :]
+        np.testing.assert_allclose(running.mean, np.mean(remaining), rtol=1e-7, atol=1e-7)
+        if len(remaining) >= 2:
+            np.testing.assert_allclose(
+                running.sample_variance, np.var(remaining, ddof=1), rtol=1e-5, atol=1e-5
+            )
+
+    def test_remove_to_empty_and_underflow(self):
+        running = RunningMean()
+        running.add(3.0)
+        running.remove(3.0)
+        assert running.count == 0
+        assert running.mean == 0.0
+        with pytest.raises(ValueError):
+            running.remove(1.0)
+
+
+class TestPositionAnnotationAccount:
+    def test_charges_follow_eq4_with_dedup(self):
+        model = CostModel()
+        account = PositionAnnotationAccount(model)
+        assert account.charge(0, [0, 1, 2]) == 3
+        expected = model.identification_cost + 3 * model.validation_cost
+        assert account.total_cost_seconds == pytest.approx(expected)
+        # Same cluster, one new triple: no identification cost again.
+        assert account.charge(0, [2, 3]) == 1
+        expected += model.validation_cost
+        assert account.total_cost_seconds == pytest.approx(expected)
+        # Fully re-annotated positions are free, even for a new entity key.
+        assert account.charge(5, [0, 1]) == 0
+        assert account.total_cost_seconds == pytest.approx(expected)
+        assert account.entities_identified == 1
+        assert account.total_triples_annotated == 4
+
+    def test_mark_annotated_is_free_and_mask_roundtrips(self):
+        account = PositionAnnotationAccount()
+        account.mark_annotated(2, [4, 5])
+        assert account.total_cost_seconds == 0.0
+        assert account.charge(2, [4, 5]) == 0
+        mask = account.annotated_mask(8)
+        np.testing.assert_array_equal(mask, [0, 0, 0, 0, 1, 1, 0, 0])
+
+
+# ---------------------------------------------------------------------------
+# Reservoir running-stats consistency (the O(1) margin-check fix)
+# ---------------------------------------------------------------------------
+
+
+class TestReservoirRunningStats:
+    def test_stats_match_recomputation_after_updates(self):
+        spec = [(5, 0.9), (2, 0.5), (7, 1.0), (3, 0.0)] * 5
+        base_triples, base_labels = build_base(spec)
+        base = LabelledKG(KnowledgeGraph(base_triples, name="p"), LabelOracle(base_labels))
+        evaluator = ReservoirIncrementalEvaluator(
+            base,
+            config=EvaluationConfig(moe_target=0.1, batch_size=5, min_units=5, max_units=30),
+            seed=11,
+        )
+        evaluator.evaluate_base()
+        updates = build_updates(spec, [[(0, 3, 0.5, False), (50, 2, 1.0, False)]], base_triples)
+        for batch, batch_oracle in updates:
+            evaluator.apply_update(batch, batch_oracle)
+        accuracies = [entry.accuracy for _, _, entry in evaluator._reservoir]
+        estimate = evaluator._current_estimate()
+        np.testing.assert_allclose(estimate.value, np.mean(accuracies), rtol=1e-12)
+        expected_std_error = (
+            np.std(accuracies, ddof=1) / math.sqrt(len(accuracies))
+            if len(accuracies) >= 2
+            else math.inf
+        )
+        np.testing.assert_allclose(estimate.std_error, expected_std_error, rtol=1e-9)
+        assert estimate.num_units == evaluator.reservoir_size
+
+
+class TestReviewRegressions:
+    def test_duplicate_only_batch_adds_no_stratum_on_either_surface(self):
+        spec = [(5, 0.8), (4, 1.0), (6, 0.5)] * 3
+        base_triples, base_labels = build_base(spec)
+        oracle = LabelOracle(base_labels)
+        duplicate_batch = UpdateBatch("dup", tuple(base_triples[:6]))
+        for make_graph in (
+            lambda: KnowledgeGraph(base_triples, name="p"),
+            lambda: KnowledgeGraph(base_triples, name="p").to_columnar(),
+        ):
+            for surface in ("object", "position"):
+                evaluator = StratifiedIncrementalEvaluator(
+                    LabelledKG(make_graph(), oracle),
+                    config=EvaluationConfig(moe_target=0.2, batch_size=5, min_units=5),
+                    seed=3,
+                    surface=surface,
+                )
+                evaluator.evaluate_base()
+                state = evaluator.apply_update(duplicate_batch, LabelOracle({}, strict=False))
+                assert evaluator.num_strata == 1  # no stratum for an all-duplicate batch
+                assert state.report.num_triples_annotated == 0
+
+    def test_object_stratum_weight_excludes_duplicates(self):
+        spec = [(5, 0.8), (4, 1.0), (6, 0.5)] * 3
+        base_triples, base_labels = build_base(spec)
+        evaluator = StratifiedIncrementalEvaluator(
+            LabelledKG(KnowledgeGraph(base_triples, name="p"), LabelOracle(base_labels)),
+            config=EvaluationConfig(moe_target=0.2, batch_size=5, min_units=5),
+            seed=3,
+        )
+        evaluator.evaluate_base()
+        fresh = tuple(Triple("e0", "ins", f"w{i}") for i in range(4))
+        mixed = UpdateBatch("mixed", tuple(base_triples[:5]) + fresh)
+        labels = LabelOracle({t: True for t in fresh}, strict=False)
+        evaluator.apply_update(mixed, labels)
+        # The new stratum covers only the 4 actually-added triples, so the
+        # combined weights sum to the evolved graph's triple count.
+        assert evaluator._strata[-1].num_triples == len(fresh)
+        total = sum(stratum.num_triples for stratum in evaluator._strata)
+        assert total == evaluator.evolving.current.num_triples
+
+    def test_reservoir_regrow_reuses_evicted_annotations_for_free(self):
+        spec = [(6, 0.9), (3, 0.5), (9, 1.0), (4, 0.75)] * 5
+        base_triples, base_labels = build_base(spec)
+        base = LabelledKG(KnowledgeGraph(base_triples, name="p"), LabelOracle(base_labels))
+        evaluator = ReservoirIncrementalEvaluator(
+            base,
+            config=EvaluationConfig(moe_target=0.2, batch_size=5, min_units=5, max_units=10),
+            seed=4,
+            surface="position",
+        )
+        evaluator.evaluate_base()
+        # Evict the current minimum entry by hand and push it back as a
+        # candidate, as apply_update does on replacement.
+        evicted = evaluator._pop_reservoir_min()
+        evaluator._push_position_candidate(
+            evicted.source, evicted.key, evicted.weight, evicted.positions
+        )
+        cost_before = evaluator.account.total_cost_seconds
+        evaluator._grow_reservoir(1)
+        regrown = next(
+            entry for _, _, entry in evaluator._reservoir if entry.key == evicted.key
+        )
+        # Identical sample, identical accuracy, zero re-annotation cost.
+        assert evaluator.account.total_cost_seconds == cost_before
+        np.testing.assert_array_equal(regrown.positions, evicted.positions)
+        assert regrown.accuracy == evicted.accuracy

@@ -183,9 +183,7 @@ class TestAnnotationTaskPool:
             [SimulatedAnnotator(oracle, seed=i) for i in range(3)], annotations_per_task=3
         )
         triple_pool.annotate_triples(list(graph))
-        assert triple_pool.total_cost_seconds == pytest.approx(
-            3 * single_pool.total_cost_seconds
-        )
+        assert triple_pool.total_cost_seconds == pytest.approx(3 * single_pool.total_cost_seconds)
 
     def test_round_robin_spreads_tasks(self, nell):
         crew = [SimulatedAnnotator(nell.oracle, seed=i) for i in range(3)]

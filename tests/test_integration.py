@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 import repro
 from repro import (
@@ -108,9 +107,7 @@ class TestEvolvingPipeline:
         ):
             monitor = EvolvingAccuracyMonitor(evaluator)
             workload = UpdateWorkloadGenerator(base, seed=17)
-            records = monitor.run(
-                workload.generate_sequence(3, base.graph.num_triples // 5, 0.7)
-            )
+            records = monitor.run(workload.generate_sequence(3, base.graph.num_triples // 5, 0.7))
             results[name] = records
         for records in results.values():
             assert len(records) == 4

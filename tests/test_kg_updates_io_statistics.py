@@ -112,9 +112,7 @@ class TestIO:
 
     def test_label_token_variants(self, tmp_path):
         path = tmp_path / "labels.tsv"
-        path.write_text(
-            "e1\tp\to1\ttrue\ne2\tp\to2\t0\ne3\tp\to3\tYES\n", encoding="utf-8"
-        )
+        path.write_text("e1\tp\to1\ttrue\ne2\tp\to2\t0\ne3\tp\to3\tYES\n", encoding="utf-8")
         _, labels = read_labelled_tsv(path)
         values = {t.subject: v for t, v in labels.items()}
         assert values == {"e1": True, "e2": False, "e3": True}

@@ -176,9 +176,7 @@ class TestWeightedClusterDesign:
         design = WeightedClusterDesign(graph, seed=2)
         units = design.draw(10)
         annotate_and_update(design, units, oracle)
-        expected = np.mean(
-            [oracle.cluster_accuracy(graph, unit.entity_id) for unit in units]
-        )
+        expected = np.mean([oracle.cluster_accuracy(graph, unit.entity_id) for unit in units])
         assert design.estimate().value == pytest.approx(float(expected))
 
     def test_unbiased_over_many_trials(self, nell):

@@ -55,9 +55,7 @@ class TestStratification:
 
     def test_oracle_stratification_groups_by_accuracy(self, toy_kg):
         graph, oracle = toy_kg
-        strata = stratify_by_oracle_accuracy(
-            graph, oracle.cluster_accuracies(graph), num_strata=4
-        )
+        strata = stratify_by_oracle_accuracy(graph, oracle.cluster_accuracies(graph), num_strata=4)
         # city_1 (accuracy 0) and athlete_2 (accuracy 1) must be in different strata.
         stratum_of = {}
         for index, stratum in enumerate(strata):

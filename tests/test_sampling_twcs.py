@@ -53,10 +53,7 @@ class TestTwoStageWeightedClusterDesign:
         units = design.draw(12)
         annotate_and_update(design, units, oracle)
         expected = np.mean(
-            [
-                sum(oracle.label(t) for t in unit.triples) / unit.num_triples
-                for unit in units
-            ]
+            [sum(oracle.label(t) for t in unit.triples) / unit.num_triples for unit in units]
         )
         assert design.estimate().value == pytest.approx(float(expected))
 
@@ -140,9 +137,7 @@ class TestTheoreticalVariance:
     def test_theoretical_variance_matches_simulation(self, nell):
         """Eq. (10) agrees with the empirical variance of the TWCS estimator."""
         sizes = [c.size for c in nell.graph.clusters()]
-        accuracies = [
-            nell.oracle.cluster_accuracy(nell.graph, e) for e in nell.graph.entity_ids
-        ]
+        accuracies = [nell.oracle.cluster_accuracy(nell.graph, e) for e in nell.graph.entity_ids]
         m, draws = 3, 20
         theoretical = twcs_theoretical_variance(sizes, accuracies, m, draws)
         estimates = []
@@ -187,26 +182,20 @@ class TestCostObjectivesAndOptimalM:
     def test_required_twcs_draws_decreases_with_m(self):
         sizes = [20] * 50
         accuracies = list(np.linspace(0.5, 1.0, 50))
-        draws = [
-            required_twcs_cluster_draws(sizes, accuracies, m, 0.05, 0.95) for m in (1, 3, 10)
-        ]
+        draws = [required_twcs_cluster_draws(sizes, accuracies, m, 0.05, 0.95) for m in (1, 3, 10)]
         assert draws[0] >= draws[1] >= draws[2]
         with pytest.raises(ValueError):
             required_twcs_cluster_draws(sizes, accuracies, 1, 0.0, 0.95)
 
     def test_optimal_m_in_paper_range_for_nell_like_population(self, nell):
         sizes = [c.size for c in nell.graph.clusters()]
-        accuracies = [
-            nell.oracle.cluster_accuracy(nell.graph, e) for e in nell.graph.entity_ids
-        ]
+        accuracies = [nell.oracle.cluster_accuracy(nell.graph, e) for e in nell.graph.entity_ids]
         optimum = optimal_second_stage_size(sizes, accuracies, CostModel())
         assert isinstance(optimum, OptimalSecondStage)
         # Section 7.2.2: the optimum falls in a small range (roughly 2-8).
         assert 2 <= optimum.second_stage_size <= 8
         assert optimum.expected_cost_seconds == min(optimum.cost_by_m.values())
-        assert optimum.expected_cost_hours == pytest.approx(
-            optimum.expected_cost_seconds / 3600
-        )
+        assert optimum.expected_cost_hours == pytest.approx(optimum.expected_cost_seconds / 3600)
 
     def test_optimal_m_is_one_for_homogeneous_singleton_clusters(self):
         # All clusters of size 1: the second stage cannot help, m=1 is optimal.

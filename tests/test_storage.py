@@ -304,3 +304,59 @@ class TestCachedTriplesView:
         assert second is not first
         assert second[-1] == Triple("new", "p", "o")
         assert graph.entity_ids[-1] == "new"
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot format v2: label / annotation arrays, v1 compatibility
+# --------------------------------------------------------------------------- #
+class TestSnapshotFormatV2:
+    @pytest.mark.parametrize("layout", ["kg.npz", "kgdir"])
+    def test_label_and_annotated_arrays_roundtrip(self, nell, tmp_path, layout):
+        graph = nell.graph.to_columnar()
+        labels = nell.oracle.as_position_array(graph)
+        annotated = np.zeros(graph.num_triples, dtype=bool)
+        annotated[:10] = True
+        target = tmp_path / layout
+        graph.save_snapshot(target, labels=labels, annotated=annotated)
+        store = SnapshotStore(target)
+        np.testing.assert_array_equal(np.asarray(store.load_labels()), labels)
+        np.testing.assert_array_equal(np.asarray(store.load_annotated()), annotated)
+        # The graph itself is untouched by the extra arrays.
+        reloaded = store.load_graph()
+        assert reloaded.num_triples == graph.num_triples
+
+    def test_labels_are_optional(self, toy_graph, tmp_path):
+        toy_graph.to_columnar().save_snapshot(tmp_path / "kg.npz")
+        store = SnapshotStore(tmp_path / "kg.npz")
+        assert store.load_labels() is None
+        assert store.load_annotated() is None
+
+    def test_misaligned_labels_rejected(self, toy_graph, tmp_path):
+        with pytest.raises(ValueError):
+            toy_graph.to_columnar().save_snapshot(
+                tmp_path / "kg.npz", labels=np.zeros(3, dtype=bool)
+            )
+
+    @pytest.mark.parametrize("layout", ["kg.npz", "kgdir"])
+    def test_v1_archives_still_load(self, toy_graph, tmp_path, monkeypatch, layout):
+        """A v1 snapshot (same columns, no label arrays, meta version 1)
+        must load under the v2 reader."""
+        from repro.storage import snapshot as snapshot_module
+
+        monkeypatch.setattr(snapshot_module, "_FORMAT_VERSION", 1)
+        target = tmp_path / layout
+        toy_graph.to_columnar().save_snapshot(target)
+        monkeypatch.undo()
+        store = SnapshotStore(target)
+        reloaded = store.load_graph(mmap=not store.is_archive)
+        assert reloaded.num_triples == toy_graph.num_triples
+        assert store.load_labels() is None
+
+    def test_newer_format_rejected(self, toy_graph, tmp_path, monkeypatch):
+        from repro.storage import snapshot as snapshot_module
+
+        monkeypatch.setattr(snapshot_module, "_FORMAT_VERSION", 99)
+        toy_graph.to_columnar().save_snapshot(tmp_path / "kg.npz")
+        monkeypatch.undo()
+        with pytest.raises(ValueError):
+            SnapshotStore(tmp_path / "kg.npz").load()
