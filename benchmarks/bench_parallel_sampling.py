@@ -1,0 +1,187 @@
+"""Parallel shard-per-CSR-range draw engine vs the serial position surface.
+
+Builds a >=1M-triple synthetic KG on the columnar backend, then times one
+large TWCS draw/estimate loop three ways:
+
+* **serial design loop** — the single-stream position surface
+  (``draw_positions`` / ``update_all_positions``), the PR-1 fast path;
+* **engine, serial** — the sharded engine executing every shard task
+  in-process (``workers=None``): the parity reference;
+* **engine, pool** — the same plan fanned across ``REPRO_BENCH_PARALLEL_
+  WORKERS`` processes.
+
+The statistical contract is asserted unconditionally: the pool run must be
+**bit-identical** (estimates and Eq. (4) cost) to the serial engine run, and
+both must agree with the ground truth to sampling accuracy.  The >=2.5x
+speedup assertion against the serial design loop only fires at full scale on
+a machine with at least 4 CPUs, so the CI smoke run (~50k triples, 2
+workers, shared runners) stays a correctness check — mirroring the other
+benchmarks' full-scale gating.
+
+Environment knobs: ``REPRO_BENCH_PARALLEL_TRIPLES`` (default 1_000_000),
+``REPRO_BENCH_PARALLEL_DRAWS`` (default 200_000 cluster draws),
+``REPRO_BENCH_PARALLEL_WORKERS`` (default 4), ``REPRO_BENCH_PARALLEL_SHARDS``
+(default = workers).  Set ``REPRO_BENCH_RESULTS_DIR`` to dump the timings —
+including the per-shard worker seconds — as JSON (uploaded as a CI
+artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+_TARGET_TRIPLES = int(os.environ.get("REPRO_BENCH_PARALLEL_TRIPLES", 1_000_000))
+_DRAWS = int(os.environ.get("REPRO_BENCH_PARALLEL_DRAWS", 200_000))
+_WORKERS = int(os.environ.get("REPRO_BENCH_PARALLEL_WORKERS", 4))
+_SHARDS = int(os.environ.get("REPRO_BENCH_PARALLEL_SHARDS", _WORKERS))
+_FULL_SCALE = 1_000_000
+_BATCH = 5_000
+_MEAN_CLUSTER_SIZE = 9.0
+_GRAPH_SEED = 0
+_LABEL_SEED = 1
+_DRAW_SEED = 2
+_ACCURACY = 0.9
+_SECOND_STAGE = 5
+
+
+def _build_graph():
+    from repro.generators.synthetic_kg import SyntheticKGConfig, generate_kg
+
+    num_entities = max(10, int(round(_TARGET_TRIPLES / _MEAN_CLUSTER_SIZE * 1.04)))
+    config = SyntheticKGConfig(
+        num_entities=num_entities,
+        mean_cluster_size=_MEAN_CLUSTER_SIZE,
+        size_skew=1.1,
+        max_cluster_size=500,
+        name="bench-parallel",
+    )
+    return generate_kg(config, seed=_GRAPH_SEED, backend="columnar")
+
+
+def _serial_design_loop(graph, labels) -> dict:
+    from repro.sampling.twcs import TwoStageWeightedClusterDesign
+
+    design = TwoStageWeightedClusterDesign(
+        graph, second_stage_size=_SECOND_STAGE, seed=_DRAW_SEED
+    )
+    started = time.perf_counter()
+    drawn = 0
+    while drawn < _DRAWS:
+        units = design.draw_positions(min(_BATCH, _DRAWS - drawn))
+        design.update_all_positions(units, labels)
+        drawn += len(units)
+    elapsed = time.perf_counter() - started
+    estimate = design.estimate()
+    return {"seconds": elapsed, "estimate": estimate.value, "std_error": estimate.std_error}
+
+
+def _engine_loop(graph, labels, workers) -> dict:
+    from repro.sampling.parallel import ParallelSamplingExecutor
+
+    with ParallelSamplingExecutor(graph, workers=workers, num_shards=_SHARDS) as executor:
+        run = executor.run(
+            "twcs", labels, seed=_DRAW_SEED, second_stage_size=_SECOND_STAGE
+        )
+        started = time.perf_counter()
+        drawn = 0
+        while drawn < _DRAWS:
+            for draw in run.step(min(_BATCH, _DRAWS - drawn)):
+                drawn += draw.num_units
+        elapsed = time.perf_counter() - started
+        estimate = run.estimate()
+        cost = run.cost_summary()
+        return {
+            "workers": workers or 0,
+            "shards": run.plan.num_shards,
+            "seconds": elapsed,
+            "estimate": estimate.value,
+            "std_error": estimate.std_error,
+            "num_units": estimate.num_units,
+            "num_triples": estimate.num_triples,
+            "cost_seconds": cost.cost_seconds,
+            "entities_identified": cost.entities_identified,
+            "triples_annotated": cost.triples_annotated,
+            "shard_stats": run.shard_stats(),
+        }
+
+
+def _dump_results(payload: dict) -> None:
+    results_dir = os.environ.get("REPRO_BENCH_RESULTS_DIR")
+    if not results_dir:
+        return
+    target = Path(results_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    with open(target / "bench_parallel_sampling.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def test_parallel_draw_loop(benchmark):
+    import numpy as np
+    from conftest import emit, run_once
+
+    def run_comparison():
+        graph = _build_graph()
+        labels = np.random.default_rng(_LABEL_SEED).random(graph.num_triples) < _ACCURACY
+        return {
+            "num_triples": graph.num_triples,
+            "num_entities": graph.num_entities,
+            "draws": _DRAWS,
+            "cpu_count": os.cpu_count(),
+            "serial_design": _serial_design_loop(graph, labels),
+            "engine_serial": _engine_loop(graph, labels, workers=None),
+            "engine_pool": _engine_loop(graph, labels, workers=_WORKERS),
+            "true_accuracy": float(labels.mean()),
+        }
+
+    results = run_once(benchmark, run_comparison)
+    _dump_results(results)
+
+    serial = results["serial_design"]
+    engine = results["engine_serial"]
+    pool = results["engine_pool"]
+    speedup = serial["seconds"] / pool["seconds"]
+    engine_speedup = engine["seconds"] / pool["seconds"]
+    emit(
+        f"Parallel sharded TWCS draw loop ({results['num_triples']:,} triples, "
+        f"{results['draws']:,} draws, {pool['shards']} shards, "
+        f"{_WORKERS} workers, {results['cpu_count']} CPUs)",
+        "\n".join(
+            [
+                f"{'serial design loop s':28}{serial['seconds']:>10.2f}",
+                f"{'engine serial s':28}{engine['seconds']:>10.2f}",
+                f"{'engine pool s':28}{pool['seconds']:>10.2f}",
+                f"{'speedup vs design loop':28}{speedup:>9.1f}x",
+                f"{'speedup vs engine serial':28}{engine_speedup:>9.1f}x",
+                f"{'estimate (pool)':28}{pool['estimate']:>10.4f}",
+                f"{'true accuracy':28}{results['true_accuracy']:>10.4f}",
+                "per-shard worker seconds    "
+                + ", ".join(
+                    f"{s['shard']}: {s['draw_seconds']:.2f}" for s in pool["shard_stats"]
+                ),
+            ]
+        ),
+    )
+
+    # The determinism contract always holds: pool == serial engine, bit for bit.
+    for key in (
+        "estimate",
+        "std_error",
+        "num_units",
+        "num_triples",
+        "cost_seconds",
+        "entities_identified",
+        "triples_annotated",
+    ):
+        assert pool[key] == engine[key], key
+    # All three estimators agree with the truth to sampling accuracy.
+    for estimate in (serial["estimate"], pool["estimate"]):
+        assert abs(estimate - results["true_accuracy"]) < 0.01
+
+    if results["num_triples"] >= _FULL_SCALE and (os.cpu_count() or 1) >= max(4, _WORKERS):
+        assert speedup >= 2.5, (
+            f"parallel draw-loop speedup {speedup:.1f}x below the 2.5x target "
+            f"({_WORKERS} workers)"
+        )

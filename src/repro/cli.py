@@ -149,6 +149,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         data = _load_dataset(args.dataset, args.seed, args.movie_scale)
     if args.backend == "columnar":
         data = LabelledKG(data.graph.to_columnar(), data.oracle)
+    if args.workers is not None:
+        return _cmd_evaluate_parallel(args, data)
     design = _build_design(args.design, data, args.second_stage_size, args.seed)
     annotator = SimulatedAnnotator(data.oracle, seed=args.seed)
     config = EvaluationConfig(moe_target=args.moe, confidence_level=args.confidence)
@@ -165,6 +167,66 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     print(f"entities identified: {report.num_entities_identified}")
     print(f"annotation cost    : {report.annotation_cost_hours:.2f} hours")
     return 0 if report.satisfied else 1
+
+
+def _cmd_evaluate_parallel(args: argparse.Namespace, data: LabelledKG) -> int:
+    """``evaluate --workers N``: the sharded position-surface draw engine.
+
+    Runs the same iterative evaluation on integer positions and boolean label
+    arrays, fanned across ``N`` worker processes (``--workers 0`` executes the
+    sharded plan serially in-process — the parity reference).  For a fixed
+    ``--shards`` the estimates are bit-identical for every worker count.
+    """
+    import numpy as np
+
+    from repro.sampling.parallel import ParallelSamplingExecutor
+
+    graph = data.graph
+    labels = data.oracle.as_position_array(graph)
+    shards = args.shards if args.shards is not None else max(args.workers, 1)
+    config = EvaluationConfig(moe_target=args.moe, confidence_level=args.confidence)
+    strata_rows = None
+    if args.design == "twcs-strat":
+        strata = stratify_by_size(graph, num_strata=4)
+        strata_rows = [
+            np.fromiter(
+                (graph.entity_row(entity_id) for entity_id in stratum.entity_ids),
+                dtype=np.int64,
+                count=stratum.num_entities,
+            )
+            for stratum in strata
+        ]
+    with ParallelSamplingExecutor(
+        graph, workers=args.workers or None, num_shards=shards
+    ) as executor:
+        run = executor.run(
+            args.design if args.design != "twcs-strat" else "twcs",
+            labels,
+            seed=args.seed,
+            second_stage_size=args.second_stage_size,
+            strata=strata_rows,
+        )
+        estimate, iterations = run.drive(config)
+        cost = run.cost_summary()
+    satisfied = estimate.num_units >= config.min_units and estimate.satisfies(
+        config.moe_target, config.confidence_level
+    )
+    interval = estimate.confidence_interval(args.confidence)
+    print(f"dataset            : {data.name}")
+    print(
+        f"design             : {args.design} (m={args.second_stage_size}, "
+        f"shards={run.plan.num_shards}, workers={args.workers})"
+    )
+    print(f"true accuracy      : {data.true_accuracy:.1%} (hidden from the estimator)")
+    print(f"estimated accuracy : {estimate.value:.1%}")
+    print(f"{args.confidence:.0%} interval     : [{interval.lower:.1%}, {interval.upper:.1%}]")
+    moe = estimate.margin_of_error(args.confidence)
+    print(f"margin of error    : {moe:.3f} (target {args.moe})")
+    print(f"sample units       : {estimate.num_units} ({iterations} rounds)")
+    print(f"triples annotated  : {cost.triples_annotated}")
+    print(f"entities identified: {cost.entities_identified}")
+    print(f"annotation cost    : {cost.cost_hours:.2f} hours")
+    return 0 if satisfied else 1
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
@@ -234,13 +296,25 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         "ss": StratifiedIncrementalEvaluator,
         "baseline": BaselineEvolvingEvaluator,
     }
+    if args.workers is not None and surface != "position":
+        raise SystemExit(
+            "--workers requires the position surface: use --backend columnar "
+            "with --evaluator rs or ss"
+        )
     config = _Config(moe_target=args.moe, confidence_level=args.confidence)
+    extra = {}
+    if args.workers is not None:
+        extra = {
+            "workers": args.workers,
+            "num_shards": args.shards if args.shards is not None else max(args.workers, 1),
+        }
     evaluator = evaluator_classes[args.evaluator](
         data,
         config=config,
         seed=args.seed,
         surface=surface,
         position_labels=position_labels if surface == "position" else None,
+        **extra,
     )
     monitor = EvolvingAccuracyMonitor(evaluator)
     monitor.evaluate_base()
@@ -250,6 +324,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         args.batches, batch_size, args.update_accuracy
     ):
         monitor.apply_update(batch, batch_oracle)
+    if args.workers is not None:
+        evaluator.close()
 
     print(f"evaluator: {args.evaluator} ({surface} surface, {args.backend} backend)")
     print("batch  estimate  truth   MoE    batch-cost(h)  total-cost(h)")
@@ -367,6 +443,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate a reopened snapshot (requires a format-v2 snapshot "
         "saved with --with-labels) instead of building --dataset",
     )
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the draw loop across N worker processes via the sharded "
+        "position-surface engine (0 = sharded but in-process; default: the "
+        "single-stream serial loop)",
+    )
+    evaluate.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for --workers runs (default max(workers, 1)); part "
+        "of the run's random-stream identity",
+    )
 
     snapshot = subparsers.add_parser(
         "snapshot",
@@ -435,6 +526,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist the base graph + labels here on the first run and reopen "
         "them on later runs (skipping the build/labelling work)",
+    )
+    monitor.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan the position-surface draw loops (base stratum, update "
+        "segments) across N worker processes (0 = sharded but in-process); "
+        "requires --backend columnar with --evaluator rs or ss",
+    )
+    monitor.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for --workers runs (default max(workers, 1))",
     )
 
     experiment = subparsers.add_parser(

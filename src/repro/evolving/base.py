@@ -92,6 +92,24 @@ class IncrementalEvaluator(ABC):
         array (position mode only).  When omitted it is derived from the base
         oracle with one O(M) pass; passing it (e.g. from a format-v2 snapshot)
         skips that pass entirely.
+    workers:
+        Position mode only.  ``None`` (default) keeps the single-stream
+        serial draw loops.  ``0`` routes the parallelisable draw loops (base
+        stratum, update segments) through the sharded engine executed
+        in-process — the parity reference; ``>= 1`` fans them across that
+        many worker processes.  For a fixed ``num_shards`` every setting of
+        ``workers >= 0`` yields bit-identical estimate trajectories.
+    num_shards:
+        Shard count for the sharded draw loops (default: ``max(workers,
+        1)``); part of the run's random-stream identity.
+    compact_threshold:
+        When set and the evolving graph is delta-backed, re-freeze the tail
+        into the base whenever it outgrows this fraction of the base
+        (:meth:`~repro.storage.delta.DeltaStore.maybe_compact`).  Compaction
+        preserves every position, row and per-cluster order, so estimate
+        trajectories are bit-identical either way — but a compacted run can
+        no longer be captured as snapshot-v3 evaluator state (the tail has
+        been folded into the base).
     """
 
     def __init__(
@@ -103,14 +121,27 @@ class IncrementalEvaluator(ABC):
         seed: int | None = None,
         surface: str = "object",
         position_labels: np.ndarray | None = None,
+        workers: int | None = None,
+        num_shards: int | None = None,
+        compact_threshold: float | None = None,
     ) -> None:
         if surface not in _SURFACES:
             raise ValueError(f"surface must be one of {_SURFACES}, got {surface!r}")
+        if workers is not None and surface != "position":
+            raise ValueError("workers requires surface='position'")
         self.config = config if config is not None else EvaluationConfig()
         self.second_stage_size = second_stage_size
         self.seed = seed
         self.surface = surface
-        self.evolving = EvolvingKnowledgeGraph(base.graph)
+        self.workers = workers
+        self.num_shards = num_shards if num_shards is not None else max(workers or 1, 1)
+        self._executor = None
+        self.evolving = EvolvingKnowledgeGraph(base.graph, compact_threshold=compact_threshold)
+        # Vocabulary size of the untouched base, recorded before any batch
+        # interns new strings; state persistence (snapshot format v3) uses it
+        # to capture exactly the strings an update stream added.
+        vocab = getattr(base.graph.backend, "vocab", None)
+        self._base_vocab_size = len(vocab) if vocab is not None else None
         if surface == "position":
             # The oracle is only read (never extended) in position mode: the
             # ground truth lives in the position-aligned label array, which is
@@ -156,6 +187,29 @@ class IncrementalEvaluator(ABC):
     def position_mode(self) -> bool:
         """Whether this evaluator runs on the position surface."""
         return self.surface == "position"
+
+    @property
+    def parallel_mode(self) -> bool:
+        """Whether draw loops route through the sharded engine."""
+        return self.workers is not None
+
+    def executor(self):
+        """The lazily created shard executor over the base graph (parallel mode)."""
+        if self._executor is None:
+            from repro.sampling.parallel import ParallelSamplingExecutor
+
+            self._executor = ParallelSamplingExecutor(
+                self.evolving.base,
+                workers=self.workers or None,
+                num_shards=self.num_shards,
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
 
     @property
     def labels(self) -> np.ndarray | None:

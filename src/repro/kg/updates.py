@@ -92,11 +92,21 @@ class EvolvingKnowledgeGraph:
     ['delta-1']
     """
 
-    def __init__(self, base: KnowledgeGraph) -> None:
+    def __init__(
+        self,
+        base: KnowledgeGraph,
+        compact_threshold: float | None = None,
+        compact_min_tail: int = 1024,
+    ) -> None:
         from repro.storage.columnar import ColumnarStore
         from repro.storage.delta import DeltaStore
 
+        if compact_threshold is not None and compact_threshold <= 0:
+            raise ValueError("compact_threshold must be positive (or None to disable)")
         self._base = base
+        self.compact_threshold = compact_threshold
+        self.compact_min_tail = compact_min_tail
+        self.compactions = 0
         if isinstance(base.backend, ColumnarStore):
             # Zero-copy evolution: layer an append-only delta view over the
             # frozen columnar base instead of re-adding all M base triples.
@@ -134,9 +144,24 @@ class EvolvingKnowledgeGraph:
         Returns one added-flag per batch triple (``False`` for duplicates
         that were already present), which is what the position-surface
         evaluators need to map the batch onto its appended graph positions.
+
+        With ``compact_threshold`` set and a delta-backed current graph, the
+        tail is re-frozen into the base whenever it outgrows that fraction
+        of the base (:meth:`~repro.storage.delta.DeltaStore.maybe_compact`),
+        so arbitrarily long update streams keep O(1) cluster reads.
+        Compaction changes no position, row or per-cluster order, so
+        samplers and evaluators observe bit-identical draws either way.
         """
+        from repro.storage.delta import DeltaStore
+
         flags = self._current.add_batch(batch.triples)
         self._batches.append(batch)
+        backend = self._current.backend
+        if self.compact_threshold is not None and isinstance(backend, DeltaStore):
+            if backend.maybe_compact(
+                threshold=self.compact_threshold, min_tail=self.compact_min_tail
+            ):
+                self.compactions += 1
         return flags
 
     def apply_all(self, batches: Iterable[UpdateBatch]) -> None:

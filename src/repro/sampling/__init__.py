@@ -37,6 +37,13 @@ from repro.sampling.optimal import (
     expected_twcs_cost_seconds,
     optimal_second_stage_size,
 )
+from repro.sampling.parallel import (
+    PARALLEL_DESIGNS,
+    CostSummary,
+    ParallelSamplingExecutor,
+    SamplingRun,
+    ShardDraw,
+)
 from repro.sampling.pilot import PilotResult, recommend_design, run_pilot
 from repro.sampling.rcs import RandomClusterDesign
 from repro.sampling.reservoir import ReservoirItem, WeightedReservoir
@@ -66,6 +73,11 @@ __all__ = [
     "StratifiedTWCSDesign",
     "PositionSegment",
     "SegmentTWCSDesign",
+    "ParallelSamplingExecutor",
+    "SamplingRun",
+    "ShardDraw",
+    "CostSummary",
+    "PARALLEL_DESIGNS",
     "PilotResult",
     "run_pilot",
     "recommend_design",

@@ -17,9 +17,34 @@ import numpy as np
 
 __all__ = [
     "cumulative_sqrt_frequency_boundaries",
+    "largest_remainder",
     "proportional_allocation",
     "neyman_allocation",
 ]
+
+
+def largest_remainder(weights: Sequence[float] | np.ndarray, total_samples: int) -> np.ndarray:
+    """Split ``total_samples`` by weight with the largest-remainder method.
+
+    The deterministic core shared by :func:`proportional_allocation` and the
+    parallel shard engine's per-round draw allocation: floor the proportional
+    shares, then hand the leftover draws to the largest fractional parts
+    (stable tie-break).  No minimum-per-entry guarantee — zero-share entries
+    stay at zero; returns an ``int64`` array.  A non-positive total or weight
+    sum yields all zeros.
+    """
+    weights = np.asarray(weights, dtype=float)
+    allocation = np.zeros(weights.shape[0], dtype=np.int64)
+    weight_sum = weights.sum()
+    if total_samples <= 0 or weight_sum <= 0:
+        return allocation
+    raw = total_samples * weights / weight_sum
+    allocation = np.floor(raw).astype(np.int64)
+    remainder = total_samples - int(allocation.sum())
+    if remainder > 0:
+        order = np.argsort(-(raw - allocation), kind="stable")
+        allocation[order[:remainder]] += 1
+    return allocation
 
 
 def cumulative_sqrt_frequency_boundaries(
@@ -85,13 +110,7 @@ def proportional_allocation(stratum_weights: Sequence[float], total_samples: int
     total_weight = weights.sum()
     if total_weight == 0:
         raise ValueError("at least one stratum weight must be positive")
-    raw = total_samples * weights / total_weight
-    allocation = np.floor(raw).astype(int)
-    remainder = total_samples - int(allocation.sum())
-    if remainder > 0:
-        order = np.argsort(-(raw - allocation))
-        for index in order[:remainder]:
-            allocation[index] += 1
+    allocation = largest_remainder(weights, total_samples)
     # Guarantee a minimum of one sample in every positive-weight stratum.
     for index, weight in enumerate(weights):
         if weight > 0 and allocation[index] == 0 and total_samples >= 1:

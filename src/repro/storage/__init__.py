@@ -23,6 +23,7 @@ from repro.storage.columnar import ColumnarStore, Vocabulary
 from repro.storage.delta import DeltaStore
 from repro.storage.ingest import ingest_nt, ingest_rows, ingest_tsv
 from repro.storage.memory import InMemoryStore
+from repro.storage.shard import ShardPlan, ShardView
 from repro.storage.snapshot import SnapshotStore
 
 __all__ = [
@@ -32,6 +33,8 @@ __all__ = [
     "ColumnarStore",
     "DeltaStore",
     "Vocabulary",
+    "ShardPlan",
+    "ShardView",
     "SnapshotStore",
     "ingest_tsv",
     "ingest_nt",

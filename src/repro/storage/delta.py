@@ -372,6 +372,103 @@ class DeltaStore(StorageBackend):
             self._sizes = sizes
         return self._sizes
 
+    # ------------------------------------------------------------------ #
+    # Compaction (periodic re-freeze)
+    # ------------------------------------------------------------------ #
+    def tail_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The tail's ``(subjects, predicates, objects, flags)`` id columns."""
+        return (
+            np.frombuffer(self._tail_s, dtype=np.int32).copy()
+            if self._tail_s
+            else np.empty(0, np.int32),
+            np.frombuffer(self._tail_p, dtype=np.int32).copy()
+            if self._tail_p
+            else np.empty(0, np.int32),
+            np.frombuffer(self._tail_o, dtype=np.int32).copy()
+            if self._tail_o
+            else np.empty(0, np.int32),
+            np.frombuffer(self._tail_f, dtype=np.uint8).astype(bool)
+            if self._tail_f
+            else np.empty(0, bool),
+        )
+
+    def restore_tail(
+        self,
+        subjects: np.ndarray,
+        predicates: np.ndarray,
+        objects: np.ndarray,
+        flags: np.ndarray,
+    ) -> None:
+        """Re-append a previously captured tail (already interned and deduped).
+
+        Rebuilds the per-subject tail index and dedup keys exactly as the
+        original appends did; used when an evaluator is restored from a
+        persisted state (snapshot format v3).
+        """
+        if self.num_tail_triples:
+            raise ValueError("restore_tail requires an empty tail")
+        for subject_id, predicate_id, object_id, flag in zip(
+            subjects.tolist(), predicates.tolist(), objects.tolist(), flags.tolist()
+        ):
+            self._append_interned(int(subject_id), int(predicate_id), int(object_id), bool(flag))
+
+    def compact(self) -> ColumnarStore:
+        """Re-freeze base + tail into a fresh frozen base; return it.
+
+        One vectorised O(M + T) pass: the id columns are concatenated in
+        position order and the CSR index is rebuilt, which preserves every
+        invariant the samplers rely on — triple positions, entity rows
+        (first-seen order) and per-cluster position order are all unchanged,
+        so estimates drawn from the compacted store are bit-identical to
+        draws from the layered view.  ``self`` re-bases onto the new store
+        in place (the tail becomes empty), keeping existing references to
+        this backend valid; very long update streams therefore retain O(1)
+        cluster reads instead of ever-growing tail consolidation.
+        """
+        base_s, base_p, base_o, base_f = self.base.id_columns()
+        tail_s, tail_p, tail_o, tail_f = self.tail_arrays()
+        merged = ColumnarStore.from_arrays(
+            self.base.vocab,
+            np.concatenate([np.asarray(base_s), tail_s]),
+            np.concatenate([np.asarray(base_p), tail_p]),
+            np.concatenate([np.asarray(base_o), tail_o]),
+            flags=np.concatenate([np.asarray(base_f, dtype=bool), tail_f]),
+        )
+        self.base = merged
+        self._base_triples = merged.num_triples
+        self._base_entities = merged.num_entities
+        if self._base_triples:
+            subjects, predicates, objects, _ = merged.id_columns()
+            self._base_id_limit = 1 + max(
+                int(np.max(subjects)), int(np.max(predicates)), int(np.max(objects))
+            )
+        self._tail_s = array("i")
+        self._tail_p = array("i")
+        self._tail_o = array("i")
+        self._tail_f = array("B")
+        self._tail_positions = {}
+        self._new_subjects = []
+        self._new_row_of = {}
+        self._base_sorted_keys = None
+        self._tail_keys = set()
+        self._csr = None
+        self._sizes = None
+        return merged
+
+    def maybe_compact(self, threshold: float = 0.5, min_tail: int = 1024) -> bool:
+        """Compact when the tail outgrows ``threshold`` of the base.
+
+        Returns whether a compaction ran.  ``min_tail`` keeps tiny graphs
+        from re-freezing on every batch.
+        """
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        tail = self.num_tail_triples
+        if tail < min_tail or tail < threshold * max(self._base_triples, 1):
+            return False
+        self.compact()
+        return True
+
     def csr_arrays(self) -> tuple[np.ndarray, np.ndarray] | None:
         """Merged base + tail CSR index, materialised lazily and cached.
 

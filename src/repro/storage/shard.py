@@ -1,0 +1,258 @@
+"""Sharding of the frozen CSR cluster index into contiguous entity ranges.
+
+The cluster-sampling designs are embarrassingly parallel at the cluster
+level: every second-stage draw and estimate update touches exactly one
+cluster.  The columnar backend's CSR layout (``offsets[N + 1]`` /
+``positions[M]``) hands out the partitions for free — any contiguous *row*
+range ``[lo, hi)`` owns the contiguous *triple* slice
+``positions[offsets[lo]:offsets[hi]]``.
+
+Two pieces live here:
+
+* :class:`ShardPlan` — cuts ``[0, N)`` into up to ``K`` contiguous row
+  ranges balanced by triple count (a cluster is never split, so a cluster
+  larger than ``M / K`` simply occupies a shard of its own and the plan
+  collapses to fewer shards);
+* :class:`ShardView` — a zero-copy view of one shard's slice of the CSR
+  index.  Views created from a snapshot directory pickle as ``(path, lo,
+  hi)`` and re-attach via ``np.load(..., mmap_mode="r")`` in the receiving
+  process, so worker processes never copy the index; views over in-memory
+  arrays fall back to pickling the (shard-sized) slices.
+
+The parallel draw engine (:mod:`repro.sampling.parallel`) consumes both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ShardPlan", "ShardView"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Up to ``K`` contiguous entity-row ranges balanced by triple count.
+
+    Attributes
+    ----------
+    boundaries:
+        Strictly increasing row boundaries of length ``num_shards + 1`` with
+        ``boundaries[0] == 0`` and ``boundaries[-1] == N``; shard ``k`` owns
+        rows ``boundaries[k]:boundaries[k + 1]``.
+    triple_offsets:
+        ``offsets[boundaries]`` — shard ``k`` owns the triple slice
+        ``positions[triple_offsets[k]:triple_offsets[k + 1]]``.
+    """
+
+    boundaries: np.ndarray
+    triple_offsets: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_offsets(cls, offsets: np.ndarray, num_shards: int) -> "ShardPlan":
+        """Cut a CSR ``offsets`` array into balanced contiguous row ranges.
+
+        Degenerate inputs are handled gracefully: an empty graph yields a
+        zero-shard plan, ``num_shards`` larger than the number of entities
+        is clamped, and a single cluster holding more than ``M / K`` triples
+        occupies one shard alone (the plan then has fewer than ``K`` shards
+        rather than splitting the cluster).
+        """
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be at least 1, got {num_shards}")
+        offsets = np.asarray(offsets, dtype=np.int64)
+        num_rows = int(offsets.shape[0]) - 1
+        if num_rows <= 0:
+            empty = np.zeros(1, dtype=np.int64)
+            return cls(boundaries=empty, triple_offsets=empty.copy())
+        shards = min(num_shards, num_rows)
+        total = int(offsets[-1])
+        # Ideal cut points at multiples of M / K, snapped to the first row
+        # boundary at or past each target; np.unique collapses cuts that a
+        # giant cluster pushed onto the same boundary.
+        targets = (total * np.arange(1, shards, dtype=np.int64)) // shards
+        cuts = np.searchsorted(offsets, targets, side="left").astype(np.int64)
+        boundaries = np.unique(np.concatenate(([0], cuts, [num_rows])))
+        return cls(boundaries=boundaries, triple_offsets=offsets[boundaries])
+
+    @classmethod
+    def from_sizes(cls, sizes: np.ndarray, num_shards: int) -> "ShardPlan":
+        """Build a plan from a cluster-size array (offsets are derived)."""
+        sizes = np.asarray(sizes, dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+        return cls.from_offsets(offsets, num_shards)
+
+    @classmethod
+    def for_graph(cls, graph, num_shards: int) -> "ShardPlan":
+        """Build a plan over a graph's CSR index (any backend)."""
+        csr = graph.backend.csr_arrays()
+        if csr is not None:
+            return cls.from_offsets(csr[0], num_shards)
+        return cls.from_sizes(graph.cluster_size_array(), num_shards)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        """Number of shards actually produced (may be below the requested K)."""
+        return int(self.boundaries.shape[0]) - 1
+
+    @property
+    def num_entities(self) -> int:
+        """Total entity rows covered by the plan."""
+        return int(self.boundaries[-1])
+
+    @property
+    def num_triples(self) -> int:
+        """Total triples covered by the plan."""
+        return int(self.triple_offsets[-1])
+
+    def row_range(self, shard: int) -> tuple[int, int]:
+        """The ``[lo, hi)`` row range owned by ``shard``."""
+        if not 0 <= shard < self.num_shards:
+            raise IndexError(f"shard {shard} out of range for {self.num_shards} shards")
+        return int(self.boundaries[shard]), int(self.boundaries[shard + 1])
+
+    def entity_counts(self) -> np.ndarray:
+        """Rows per shard, aligned with shard order."""
+        return np.diff(self.boundaries)
+
+    def triple_counts(self) -> np.ndarray:
+        """Triples per shard, aligned with shard order."""
+        return np.diff(self.triple_offsets)
+
+    def shard_of_row(self, row: int) -> int:
+        """The shard owning entity ``row``."""
+        if not 0 <= row < self.num_entities:
+            raise IndexError(f"row {row} out of range for {self.num_entities} entities")
+        return int(np.searchsorted(self.boundaries, row, side="right")) - 1
+
+    def partition_rows(self, rows: np.ndarray) -> list[tuple[int, np.ndarray]]:
+        """Group arbitrary global rows by owning shard, preserving input order.
+
+        Returns ``(shard, indices)`` pairs (indices into ``rows``) for every
+        shard that received at least one row, in shard order.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        assignment = np.searchsorted(self.boundaries, rows, side="right") - 1
+        return [
+            (int(shard), np.flatnonzero(assignment == shard))
+            for shard in np.unique(assignment)
+        ]
+
+
+def _view_from_arrays(offsets: np.ndarray, positions: np.ndarray, lo: int, hi: int) -> "ShardView":
+    return ShardView(
+        offsets=np.asarray(offsets)[lo : hi + 1],
+        positions=np.asarray(positions)[int(offsets[lo]) : int(offsets[hi])],
+        row_start=lo,
+    )
+
+
+@dataclass
+class ShardView:
+    """Zero-copy view of one contiguous shard of a CSR cluster index.
+
+    ``offsets`` is the *global* offsets slice ``offsets[lo:hi + 1]`` (values
+    still index the global positions array); ``positions`` is the matching
+    triple slice, whose values are global triple positions.  Both are NumPy
+    views — possibly into memory-mapped snapshot columns — so constructing a
+    view copies nothing.
+
+    Views built through :meth:`from_snapshot` remember their source and
+    pickle as ``(path, lo, hi)``; the receiving process re-attaches via
+    ``mmap`` instead of deserialising the arrays.  Views over plain arrays
+    pickle their (shard-sized) slices as a portable fallback.
+    """
+
+    offsets: np.ndarray
+    positions: np.ndarray
+    row_start: int
+    snapshot_path: str | None = field(default=None, compare=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction / pickling
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_csr(
+        cls, offsets: np.ndarray, positions: np.ndarray, lo: int, hi: int
+    ) -> "ShardView":
+        """Slice a shard out of in-memory CSR arrays (zero-copy views)."""
+        return _view_from_arrays(offsets, positions, lo, hi)
+
+    @classmethod
+    def from_plan(
+        cls, offsets: np.ndarray, positions: np.ndarray, plan: ShardPlan, shard: int
+    ) -> "ShardView":
+        """Slice the ``shard``-th range of ``plan`` out of CSR arrays."""
+        lo, hi = plan.row_range(shard)
+        return cls.from_csr(offsets, positions, lo, hi)
+
+    @classmethod
+    def from_snapshot(cls, path: str | Path, lo: int, hi: int) -> "ShardView":
+        """Attach to a snapshot *directory*'s CSR columns via ``mmap``.
+
+        Only the directory layout can be memory-mapped; the loaded arrays
+        stay on disk and the resident footprint is the pages the sampler
+        touches.  The returned view pickles as ``(path, lo, hi)``.
+        """
+        base = Path(path)
+        offsets = np.load(base / "cluster_offsets.npy", mmap_mode="r")
+        positions = np.load(base / "cluster_positions.npy", mmap_mode="r")
+        view = _view_from_arrays(offsets, positions, lo, hi)
+        view.snapshot_path = str(base)
+        return view
+
+    def __reduce__(self):
+        if self.snapshot_path is not None:
+            return (
+                ShardView.from_snapshot,
+                (self.snapshot_path, self.row_start, self.row_start + self.num_rows),
+            )
+        return (
+            ShardView,
+            (np.asarray(self.offsets).copy(), np.asarray(self.positions).copy(), self.row_start),
+        )
+
+    # ------------------------------------------------------------------ #
+    # CSR accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        """Entity rows in this shard."""
+        return int(self.offsets.shape[0]) - 1
+
+    @property
+    def num_triples(self) -> int:
+        """Triples in this shard."""
+        return int(self.positions.shape[0])
+
+    @property
+    def triple_start(self) -> int:
+        """Global index of the shard's first triple slot in ``positions``."""
+        return int(self.offsets[0])
+
+    def local_offsets(self) -> np.ndarray:
+        """Offsets re-based to the shard's own positions slice."""
+        return self.offsets - self.offsets[0]
+
+    def sizes(self) -> np.ndarray:
+        """Cluster sizes of the shard's rows, in local row order."""
+        return np.diff(self.offsets)
+
+    def cluster_positions(self, local_row: int) -> np.ndarray:
+        """Global triple positions of local cluster ``local_row`` (zero-copy)."""
+        base = int(self.offsets[0])
+        return self.positions[
+            int(self.offsets[local_row]) - base : int(self.offsets[local_row + 1]) - base
+        ]
+
+    def global_row(self, local_row: int) -> int:
+        """Map a local row index back to the global entity row."""
+        return self.row_start + local_row

@@ -13,7 +13,7 @@ target path:
   (``np.load(..., mmap_mode="r")``), so the resident footprint of a loaded
   graph is only the pages the sampler actually touches.
 
-Array names (both layouts, ``format_version`` 2):
+Array names (both layouts, ``format_version`` 3):
 
 ==================  ======================================================
 ``subjects``        ``int32 (M,)`` interned subject ids
@@ -36,6 +36,14 @@ monitoring run can persist its label oracle (and annotation progress) next to
 the graph and resume later without re-annotating.  Format v1 snapshots (no
 ``labels`` / ``annotated`` arrays) still load; :meth:`SnapshotStore.
 load_labels` simply returns ``None`` for them.
+
+Format v3 adds an optional *evaluator-state sidecar* (``evaluator_state.pkl``
+inside a snapshot directory, ``<path>.state.pkl`` next to an archive): the
+full mid-sequence state of an incremental evaluator — reservoir keys and
+candidate heaps or per-stratum accumulators, the annotation account, random
+streams and the delta tail — captured by :mod:`repro.evolving.state`, so a
+monitoring run resumes after any update batch with a bit-identical
+trajectory.  v1/v2 snapshots still load; the sidecar is simply absent.
 """
 
 from __future__ import annotations
@@ -48,7 +56,7 @@ from repro.storage.columnar import ColumnarStore, Vocabulary
 
 __all__ = ["SnapshotStore"]
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
 _ARRAY_NAMES = (
     "subjects",
     "predicates",
@@ -205,6 +213,56 @@ class SnapshotStore:
 
         store, graph_name = self.load(mmap=mmap)
         return KnowledgeGraph(name=name if name is not None else graph_name, backend=store)
+
+    # ------------------------------------------------------------------ #
+    # Evaluator-state sidecar (format v3)
+    # ------------------------------------------------------------------ #
+    @property
+    def evaluator_state_path(self) -> Path:
+        """Where the v3 evaluator-state sidecar lives for this snapshot."""
+        if self.is_archive:
+            return self.path.with_suffix(".state.pkl")
+        return self.path / "evaluator_state.pkl"
+
+    def has_evaluator_state(self) -> bool:
+        """Whether an evaluator-state sidecar has been saved."""
+        return self.evaluator_state_path.is_file()
+
+    def save_evaluator_state(self, evaluator) -> Path:
+        """Persist an incremental evaluator's mid-sequence state (format v3).
+
+        Capture at a batch boundary; see :mod:`repro.evolving.state` for the
+        supported evaluators and the state contents.
+        """
+        import pickle
+
+        from repro.evolving.state import capture_evaluator_state
+
+        state = capture_evaluator_state(evaluator)
+        target = self.evaluator_state_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "wb") as handle:
+            pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        return target
+
+    def load_evaluator_state(
+        self, base, workers: int | None = None, num_shards: int | None = None
+    ):
+        """Rebuild the persisted evaluator over ``base`` (a reloaded LabelledKG).
+
+        Returns an evaluator ready for the next ``apply_update`` call; its
+        remaining trajectory is bit-identical to an uninterrupted run.
+        """
+        import pickle
+
+        from repro.evolving.state import restore_evaluator
+
+        target = self.evaluator_state_path
+        if not target.is_file():
+            raise FileNotFoundError(f"no evaluator state at {target}")
+        with open(target, "rb") as handle:
+            state = pickle.load(handle)
+        return restore_evaluator(state, base, workers=workers, num_shards=num_shards)
 
 
 def _as_store(source) -> tuple[ColumnarStore, str]:

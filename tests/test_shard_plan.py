@@ -1,0 +1,138 @@
+"""ShardPlan construction, balance, and degenerate inputs; ShardView slicing."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.generators.datasets import make_nell_like
+from repro.storage.shard import ShardPlan, ShardView
+
+
+def _offsets(sizes) -> np.ndarray:
+    return np.concatenate(([0], np.cumsum(np.asarray(sizes, dtype=np.int64))))
+
+
+class TestShardPlanBalance:
+    def test_even_sizes_split_evenly(self):
+        plan = ShardPlan.from_sizes([5] * 12, 4)
+        assert plan.num_shards == 4
+        np.testing.assert_array_equal(plan.boundaries, [0, 3, 6, 9, 12])
+        np.testing.assert_array_equal(plan.triple_counts(), [15, 15, 15, 15])
+
+    def test_skewed_sizes_balance_by_triples_not_rows(self):
+        sizes = [100] + [1] * 100  # one hot cluster followed by a long tail
+        plan = ShardPlan.from_sizes(sizes, 2)
+        assert plan.num_shards == 2
+        # The giant cluster alone is half the mass: it forms the first shard.
+        assert plan.row_range(0) == (0, 1)
+        assert plan.row_range(1) == (1, 101)
+
+    def test_triple_counts_sum_to_total(self):
+        rng = np.random.default_rng(0)
+        sizes = rng.integers(1, 50, size=500)
+        for shards in (1, 2, 3, 7, 16):
+            plan = ShardPlan.from_sizes(sizes, shards)
+            assert plan.triple_counts().sum() == sizes.sum()
+            assert plan.entity_counts().sum() == 500
+            assert np.all(np.diff(plan.boundaries) > 0)
+
+    def test_shard_of_row_and_partition(self):
+        plan = ShardPlan.from_sizes([2, 2, 2, 2], 2)
+        assert [plan.shard_of_row(row) for row in range(4)] == [0, 0, 1, 1]
+        parts = plan.partition_rows(np.array([3, 0, 2, 1]))
+        assert [(shard, idx.tolist()) for shard, idx in parts] == [(0, [1, 3]), (1, [0, 2])]
+        with pytest.raises(IndexError):
+            plan.shard_of_row(4)
+        with pytest.raises(IndexError):
+            plan.row_range(2)
+
+
+class TestShardPlanDegenerateInputs:
+    def test_empty_graph_yields_zero_shards(self):
+        plan = ShardPlan.from_offsets(np.zeros(1, dtype=np.int64), 4)
+        assert plan.num_shards == 0
+        assert plan.num_entities == 0
+        assert plan.num_triples == 0
+        assert plan.partition_rows(np.empty(0, dtype=np.int64)) == []
+
+    def test_more_shards_than_entities_clamps(self):
+        plan = ShardPlan.from_sizes([3, 3, 3], 10)
+        assert plan.num_shards == 3
+        np.testing.assert_array_equal(plan.boundaries, [0, 1, 2, 3])
+        # Skewed sizes may merge further, but never exceed one shard per row.
+        assert ShardPlan.from_sizes([3, 4, 5], 10).num_shards <= 3
+
+    def test_single_giant_cluster_larger_than_m_over_k(self):
+        # One cluster holds ~96% of the mass; it cannot be split, so it gets
+        # a shard of its own and the plan collapses to 2 shards, not 4.
+        plan = ShardPlan.from_sizes([500] + [1] * 20, 4)
+        assert plan.num_shards == 2
+        assert plan.row_range(0) == (0, 1)
+        assert int(plan.triple_counts()[0]) == 500
+
+    def test_single_cluster_graph(self):
+        plan = ShardPlan.from_sizes([42], 7)
+        assert plan.num_shards == 1
+        assert plan.row_range(0) == (0, 1)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardPlan.from_sizes([1, 2], 0)
+        with pytest.raises(ValueError):
+            ShardPlan.from_sizes([1, 2], -3)
+
+
+class TestShardView:
+    def test_zero_copy_slices_and_rebased_offsets(self):
+        offsets = _offsets([2, 3, 1, 4])
+        positions = np.arange(10, dtype=np.int64)[::-1].copy()
+        view = ShardView.from_csr(offsets, positions, 1, 3)
+        assert view.num_rows == 2
+        assert view.num_triples == 4
+        np.testing.assert_array_equal(view.local_offsets(), [0, 3, 4])
+        np.testing.assert_array_equal(view.sizes(), [3, 1])
+        np.testing.assert_array_equal(view.cluster_positions(0), positions[2:5])
+        assert view.global_row(1) == 2
+        # The slices share memory with the source arrays (no copies).
+        assert np.shares_memory(view.positions, positions)
+        assert np.shares_memory(view.offsets, offsets)
+
+    def test_from_plan_covers_the_graph(self):
+        data = make_nell_like(seed=0)
+        graph = data.graph.to_columnar()
+        offsets, positions = graph.backend.csr_arrays()
+        plan = graph.shard_plan(5)
+        covered = sum(
+            ShardView.from_plan(offsets, positions, plan, shard).num_triples
+            for shard in range(plan.num_shards)
+        )
+        assert covered == graph.num_triples
+
+    def test_pickle_round_trip_plain_arrays(self):
+        offsets = _offsets([2, 2, 2])
+        positions = np.arange(6, dtype=np.int64)
+        view = ShardView.from_csr(offsets, positions, 0, 2)
+        clone = pickle.loads(pickle.dumps(view))
+        np.testing.assert_array_equal(clone.offsets, view.offsets)
+        np.testing.assert_array_equal(clone.positions, view.positions)
+        assert clone.row_start == view.row_start
+
+    def test_pickle_round_trip_via_snapshot(self, tmp_path):
+        data = make_nell_like(seed=0)
+        graph = data.graph.to_columnar()
+        snap = tmp_path / "kg-dir"
+        graph.save_snapshot(snap)
+        view = ShardView.from_snapshot(snap, 3, 9)
+        clone = pickle.loads(pickle.dumps(view))
+        assert clone.snapshot_path == str(snap)
+        np.testing.assert_array_equal(np.asarray(clone.offsets), np.asarray(view.offsets))
+        np.testing.assert_array_equal(
+            np.asarray(clone.positions), np.asarray(view.positions)
+        )
+        # mmap attachment matches the in-memory CSR slice.
+        offsets, positions = graph.backend.csr_arrays()
+        direct = ShardView.from_csr(offsets, positions, 3, 9)
+        np.testing.assert_array_equal(np.asarray(clone.positions), direct.positions)
