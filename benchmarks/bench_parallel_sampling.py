@@ -109,6 +109,13 @@ def _engine_loop(graph, labels, workers) -> dict:
 
 
 def _dump_results(payload: dict) -> None:
+    # The repo-root copy is rewritten on every run (latest numbers win); the
+    # perf trajectory accumulates through *committed* snapshots of this file,
+    # one per PR, rather than by appending locally.
+    root_target = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+    with open(root_target, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
     results_dir = os.environ.get("REPRO_BENCH_RESULTS_DIR")
     if not results_dir:
         return

@@ -20,7 +20,14 @@ Five commands cover the common workflows:
   tracks its accuracy.  ``--backend columnar`` runs the position-surface
   evaluators on a columnar base with zero-copy delta updates;
   ``--snapshot`` persists (and on re-runs reopens) the base graph plus its
-  labels, so the expensive build/labelling happens once.
+  labels, so the expensive build/labelling happens once;
+* ``worker`` — run a sampling worker node for the RPC shard transport:
+  listens on ``--listen HOST:PORT``, receives content-addressed CSR
+  snapshot shards into ``--base-dir`` and executes streamed shard tasks.
+  ``evaluate`` / ``monitor`` dispatch to such nodes with
+  ``--transport rpc --nodes host1:p1,host2:p2`` — trajectories are
+  bit-identical to ``--workers`` (pool) and ``--workers 0`` (serial) runs
+  with the same ``--shards``.
 
 Examples
 --------
@@ -33,6 +40,9 @@ Examples
     python -m repro snapshot --dataset movie --out movie.npz --with-labels
     python -m repro evaluate --from-snapshot movie.npz
     python -m repro monitor --dataset movie --backend columnar --batches 5
+    python -m repro worker --listen 127.0.0.1:7301 --base-dir /tmp/shards
+    python -m repro evaluate --dataset nell --transport rpc \\
+        --nodes 127.0.0.1:7301,127.0.0.1:7302 --shards 4
 """
 
 from __future__ import annotations
@@ -88,7 +98,7 @@ def _load_dataset(name: str, seed: int, movie_scale: float) -> LabelledKG:
     raise ValueError(f"unknown dataset {name!r}")
 
 
-def _build_design(name: str, data: LabelledKG, m: int, seed: int):
+def _build_design(name: str, data: LabelledKG, m: int, seed: int, allocation: str = "proportional"):
     if name == "srs":
         return SimpleRandomDesign(data.graph, seed=seed)
     if name == "rcs":
@@ -99,7 +109,9 @@ def _build_design(name: str, data: LabelledKG, m: int, seed: int):
         return TwoStageWeightedClusterDesign(data.graph, second_stage_size=m, seed=seed)
     if name == "twcs-strat":
         strata = stratify_by_size(data.graph, num_strata=4)
-        return StratifiedTWCSDesign(data.graph, strata, second_stage_size=m, seed=seed)
+        return StratifiedTWCSDesign(
+            data.graph, strata, second_stage_size=m, seed=seed, allocation=allocation
+        )
     raise ValueError(f"unknown design {name!r}")
 
 
@@ -142,6 +154,63 @@ def _load_snapshot_dataset(path: str) -> LabelledKG:
     return LabelledKG(graph, oracle)
 
 
+def _parse_nodes(args: argparse.Namespace) -> list[str]:
+    nodes = [node.strip() for node in (args.nodes or "").split(",") if node.strip()]
+    if not nodes:
+        raise SystemExit("--transport rpc requires --nodes host:port[,host:port...]")
+    return nodes
+
+
+def _build_transport(args: argparse.Namespace):
+    """Resolve ``--transport``/``--nodes``/``--workers`` into a ShardTransport.
+
+    Returns ``None`` when no ``--transport`` was given — the executor then
+    falls back to its historical ``workers=`` shorthand.
+    """
+    if args.transport is None:
+        return None
+    if args.transport == "rpc":
+        from repro.sampling.rpc import SocketRPCTransport
+
+        return SocketRPCTransport(_parse_nodes(args))
+    from repro.sampling.parallel import (
+        ParallelSamplingExecutor,
+        ProcessPoolTransport,
+        SerialTransport,
+    )
+
+    if args.transport == "pool":
+        workers = args.workers or ParallelSamplingExecutor.default_workers()
+        return ProcessPoolTransport(workers)
+    return SerialTransport()
+
+
+def _resolve_parallel(args: argparse.Namespace):
+    """Resolve the sharded-engine execution options into ``(transport, shards)``.
+
+    One code path for ``evaluate`` and ``monitor``: the shard count — part
+    of a run's random-stream identity — defaults to the transport's natural
+    width (pool worker count, RPC node count) and only then to
+    ``max(workers, 1)``.
+    """
+    transport = _build_transport(args)
+    if args.shards is not None:
+        shards = args.shards
+    elif transport is not None and transport.default_shards:
+        shards = transport.default_shards
+    else:
+        shards = max(args.workers or 1, 1)
+    return transport, shards
+
+
+def _transport_label(args: argparse.Namespace) -> str:
+    if args.transport == "rpc":
+        return f"rpc[{len(_parse_nodes(args))} nodes]"
+    if args.transport is not None:
+        return args.transport
+    return "pool" if args.workers else "serial"
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     if args.from_snapshot:
         data = _load_snapshot_dataset(args.from_snapshot)
@@ -149,9 +218,11 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         data = _load_dataset(args.dataset, args.seed, args.movie_scale)
     if args.backend == "columnar":
         data = LabelledKG(data.graph.to_columnar(), data.oracle)
-    if args.workers is not None:
+    if args.workers is not None or args.transport is not None:
         return _cmd_evaluate_parallel(args, data)
-    design = _build_design(args.design, data, args.second_stage_size, args.seed)
+    design = _build_design(
+        args.design, data, args.second_stage_size, args.seed, allocation=args.allocation
+    )
     annotator = SimulatedAnnotator(data.oracle, seed=args.seed)
     config = EvaluationConfig(moe_target=args.moe, confidence_level=args.confidence)
     report = StaticEvaluator(design, annotator, config).run()
@@ -183,7 +254,7 @@ def _cmd_evaluate_parallel(args: argparse.Namespace, data: LabelledKG) -> int:
 
     graph = data.graph
     labels = data.oracle.as_position_array(graph)
-    shards = args.shards if args.shards is not None else max(args.workers, 1)
+    transport, shards = _resolve_parallel(args)
     config = EvaluationConfig(moe_target=args.moe, confidence_level=args.confidence)
     strata_rows = None
     if args.design == "twcs-strat":
@@ -197,7 +268,10 @@ def _cmd_evaluate_parallel(args: argparse.Namespace, data: LabelledKG) -> int:
             for stratum in strata
         ]
     with ParallelSamplingExecutor(
-        graph, workers=args.workers or None, num_shards=shards
+        graph,
+        workers=None if transport is not None else (args.workers or None),
+        num_shards=shards,
+        transport=transport,
     ) as executor:
         run = executor.run(
             args.design if args.design != "twcs-strat" else "twcs",
@@ -205,6 +279,7 @@ def _cmd_evaluate_parallel(args: argparse.Namespace, data: LabelledKG) -> int:
             seed=args.seed,
             second_stage_size=args.second_stage_size,
             strata=strata_rows,
+            allocation=args.allocation if args.design == "twcs-strat" else "proportional",
         )
         estimate, iterations = run.drive(config)
         cost = run.cost_summary()
@@ -215,7 +290,7 @@ def _cmd_evaluate_parallel(args: argparse.Namespace, data: LabelledKG) -> int:
     print(f"dataset            : {data.name}")
     print(
         f"design             : {args.design} (m={args.second_stage_size}, "
-        f"shards={run.plan.num_shards}, workers={args.workers})"
+        f"shards={run.plan.num_shards}, transport={_transport_label(args)})"
     )
     print(f"true accuracy      : {data.true_accuracy:.1%} (hidden from the estimator)")
     print(f"estimated accuracy : {estimate.value:.1%}")
@@ -296,18 +371,21 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         "ss": StratifiedIncrementalEvaluator,
         "baseline": BaselineEvolvingEvaluator,
     }
-    if args.workers is not None and surface != "position":
+    parallel_requested = args.workers is not None or args.transport is not None
+    if parallel_requested and surface != "position":
         raise SystemExit(
-            "--workers requires the position surface: use --backend columnar "
-            "with --evaluator rs or ss"
+            "--workers/--transport requires the position surface: use "
+            "--backend columnar with --evaluator rs or ss"
         )
     config = _Config(moe_target=args.moe, confidence_level=args.confidence)
     extra = {}
-    if args.workers is not None:
-        extra = {
-            "workers": args.workers,
-            "num_shards": args.shards if args.shards is not None else max(args.workers, 1),
-        }
+    if parallel_requested:
+        transport, shards = _resolve_parallel(args)
+        extra = {"num_shards": shards}
+        if transport is not None:
+            extra["transport"] = transport
+        else:
+            extra["workers"] = args.workers
     evaluator = evaluator_classes[args.evaluator](
         data,
         config=config,
@@ -324,7 +402,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         args.batches, batch_size, args.update_accuracy
     ):
         monitor.apply_update(batch, batch_oracle)
-    if args.workers is not None:
+    if parallel_requested:
         evaluator.close()
 
     print(f"evaluator: {args.evaluator} ({surface} surface, {args.backend} backend)")
@@ -337,6 +415,30 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         )
     final = monitor.records[-1]
     return 0 if final.estimation_error <= max(2 * args.moe, 0.15) else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """``repro worker``: serve shard tasks for the RPC transport."""
+    from repro.sampling.rpc import parse_node_address, serve_worker
+
+    host, port = parse_node_address(args.listen)
+
+    def on_ready(bound_host: str, bound_port: int) -> None:
+        # Single parseable line: launchers using port 0 read the real port.
+        print(f"worker listening on {bound_host}:{bound_port}", flush=True)
+        print(f"snapshot cache     {args.base_dir}", flush=True)
+
+    try:
+        serve_worker(
+            host,
+            port,
+            args.base_dir,
+            on_ready=on_ready,
+            max_connections=args.max_connections,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    return 0
 
 
 _EXPERIMENTS = {
@@ -455,8 +557,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         default=None,
-        help="shard count for --workers runs (default max(workers, 1)); part "
-        "of the run's random-stream identity",
+        help="shard count for --workers/--transport runs (default max(workers, 1) "
+        "or the node count); part of the run's random-stream identity",
+    )
+    evaluate.add_argument(
+        "--transport",
+        choices=("serial", "pool", "rpc"),
+        default=None,
+        help="execution transport for the sharded engine: 'serial' (in-process "
+        "reference), 'pool' (local worker processes), 'rpc' (remote worker "
+        "nodes via --nodes); trajectories are bit-identical across transports "
+        "for a fixed --shards",
+    )
+    evaluate.add_argument(
+        "--nodes",
+        default=None,
+        help="comma-separated worker node addresses (host:port) for "
+        "--transport rpc; start nodes with `repro worker --listen`",
+    )
+    evaluate.add_argument(
+        "--allocation",
+        choices=("proportional", "neyman"),
+        default="proportional",
+        help="per-round stratum allocation for --design twcs-strat runs on the "
+        "sharded engine (default proportional)",
     )
 
     snapshot = subparsers.add_parser(
@@ -539,7 +663,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         default=None,
-        help="shard count for --workers runs (default max(workers, 1))",
+        help="shard count for --workers/--transport runs (default max(workers, 1) "
+        "or the node count)",
+    )
+    monitor.add_argument(
+        "--transport",
+        choices=("serial", "pool", "rpc"),
+        default=None,
+        help="execution transport for the sharded draw loops (see `evaluate "
+        "--transport`); requires --backend columnar with --evaluator rs or ss",
+    )
+    monitor.add_argument(
+        "--nodes",
+        default=None,
+        help="comma-separated worker node addresses (host:port) for --transport rpc",
+    )
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a sampling worker node for the RPC shard transport",
+    )
+    worker.add_argument(
+        "--listen",
+        required=True,
+        help="address to listen on as host:port (port 0 picks a free port, "
+        "printed on startup)",
+    )
+    worker.add_argument(
+        "--base-dir",
+        required=True,
+        dest="base_dir",
+        help="directory for the content-addressed snapshot shard cache "
+        "(persists across connections; an unchanged graph is received once)",
+    )
+    worker.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        dest="max_connections",
+        help="exit after serving this many master connections (default: serve "
+        "forever)",
     )
 
     experiment = subparsers.add_parser(
@@ -565,6 +728,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_monitor(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     parser.print_help()
     return 2
 

@@ -100,8 +100,18 @@ class IncrementalEvaluator(ABC):
         many worker processes.  For a fixed ``num_shards`` every setting of
         ``workers >= 0`` yields bit-identical estimate trajectories.
     num_shards:
-        Shard count for the sharded draw loops (default: ``max(workers,
-        1)``); part of the run's random-stream identity.
+        Shard count for the sharded draw loops (default: the transport's
+        node/worker count when one is given, else ``max(workers, 1)``);
+        part of the run's random-stream identity.
+    transport:
+        Position mode only.  An explicit
+        :class:`~repro.sampling.parallel.ShardTransport` the sharded draw
+        loops execute on — e.g. a
+        :class:`~repro.sampling.rpc.SocketRPCTransport` over remote worker
+        nodes.  Mutually exclusive with ``workers``; for a fixed
+        ``num_shards`` every transport yields bit-identical estimate
+        trajectories (serial == pool == RPC).  The evaluator owns the
+        transport: :meth:`close` closes it.
     compact_threshold:
         When set and the evolving graph is delta-backed, re-freeze the tail
         into the base whenever it outgrows this fraction of the base
@@ -123,18 +133,29 @@ class IncrementalEvaluator(ABC):
         position_labels: np.ndarray | None = None,
         workers: int | None = None,
         num_shards: int | None = None,
+        transport=None,
         compact_threshold: float | None = None,
     ) -> None:
         if surface not in _SURFACES:
             raise ValueError(f"surface must be one of {_SURFACES}, got {surface!r}")
-        if workers is not None and surface != "position":
-            raise ValueError("workers requires surface='position'")
+        if (workers is not None or transport is not None) and surface != "position":
+            raise ValueError("workers/transport requires surface='position'")
+        if workers is not None and transport is not None:
+            raise ValueError("pass either workers= or transport=, not both")
         self.config = config if config is not None else EvaluationConfig()
         self.second_stage_size = second_stage_size
         self.seed = seed
         self.surface = surface
         self.workers = workers
-        self.num_shards = num_shards if num_shards is not None else max(workers or 1, 1)
+        self.transport = transport
+        if num_shards is not None:
+            self.num_shards = num_shards
+        elif transport is not None and getattr(transport, "default_shards", None):
+            # A multi-node transport defaults to one shard per node, so the
+            # distribution the caller configured is actually exercised.
+            self.num_shards = transport.default_shards
+        else:
+            self.num_shards = max(workers or 1, 1)
         self._executor = None
         self.evolving = EvolvingKnowledgeGraph(base.graph, compact_threshold=compact_threshold)
         # Vocabulary size of the untouched base, recorded before any batch
@@ -191,7 +212,7 @@ class IncrementalEvaluator(ABC):
     @property
     def parallel_mode(self) -> bool:
         """Whether draw loops route through the sharded engine."""
-        return self.workers is not None
+        return self.workers is not None or self.transport is not None
 
     def executor(self):
         """The lazily created shard executor over the base graph (parallel mode)."""
@@ -202,6 +223,7 @@ class IncrementalEvaluator(ABC):
                 self.evolving.base,
                 workers=self.workers or None,
                 num_shards=self.num_shards,
+                transport=self.transport,
             )
         return self._executor
 

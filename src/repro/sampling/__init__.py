@@ -41,8 +41,13 @@ from repro.sampling.parallel import (
     PARALLEL_DESIGNS,
     CostSummary,
     ParallelSamplingExecutor,
+    ProcessPoolTransport,
     SamplingRun,
+    SerialTransport,
     ShardDraw,
+    ShardResult,
+    ShardTask,
+    ShardTransport,
 )
 from repro.sampling.pilot import PilotResult, recommend_design, run_pilot
 from repro.sampling.rcs import RandomClusterDesign
@@ -78,6 +83,11 @@ __all__ = [
     "ShardDraw",
     "CostSummary",
     "PARALLEL_DESIGNS",
+    "ShardTask",
+    "ShardResult",
+    "ShardTransport",
+    "SerialTransport",
+    "ProcessPoolTransport",
     "PilotResult",
     "run_pilot",
     "recommend_design",

@@ -28,18 +28,37 @@ in-process (``workers=None``), on every storage backend, regardless of
 worker count or OS scheduling.  The random stream *does* depend on the shard
 count ``K``: a plan is part of a run's identity.
 
+Transports
+----------
+*Planning* (which shard draws what, in which stream) is separated from
+*execution transport* (where a :class:`ShardTask` actually runs).  A
+:class:`ShardTransport` executes self-contained tasks and returns their
+:class:`ShardResult`\\ s in task order; because a result is a pure function
+of ``(task, bound CSR index)``, swapping the transport can never change a
+trajectory.  Three implementations exist:
+
+* :class:`SerialTransport` — runs every task in-process; the reference.
+* :class:`ProcessPoolTransport` — fans tasks across a local fork/spawn
+  process pool (the historical ``workers=`` behaviour).
+* :class:`~repro.sampling.rpc.SocketRPCTransport` — streams tasks to remote
+  worker nodes over a length-prefixed TCP protocol, shipping the CSR index
+  content-addressed exactly once per node (``repro worker --listen``).
+
 Workers attach to the CSR index without copying: on ``fork`` platforms the
 arrays are inherited copy-on-write through a module registry; with a
-``snapshot`` directory they re-open the columns memory-mapped; the ``spawn``
-fallback ships the arrays once per worker.  Labels never leave the master.
+``snapshot`` directory (or over RPC) they re-open the columns
+memory-mapped; the ``spawn`` fallback ships the arrays once per worker.
+Labels never leave the master.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import time
 import uuid
+from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,7 +68,11 @@ import numpy as np
 from repro.cost.model import CostModel
 from repro.kg.graph import _floyd_sample_batch
 from repro.sampling.base import Estimate
-from repro.stats.allocation import largest_remainder, proportional_allocation
+from repro.stats.allocation import (
+    largest_remainder,
+    neyman_allocation,
+    proportional_allocation,
+)
 from repro.stats.running import RunningMean
 from repro.storage.shard import ShardPlan, ShardView
 
@@ -59,6 +82,12 @@ __all__ = [
     "ShardDraw",
     "CostSummary",
     "PARALLEL_DESIGNS",
+    "ShardSource",
+    "ShardTask",
+    "ShardResult",
+    "ShardTransport",
+    "SerialTransport",
+    "ProcessPoolTransport",
 ]
 
 #: Designs the engine can fan out (plus ``"twcs-strat"`` via ``strata=``).
@@ -99,7 +128,7 @@ def _init_worker(mode: str, payload) -> None:
 # Tasks and results
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
-class _ShardSource:
+class ShardSource:
     """Where a task's clusters live.
 
     ``kind``:
@@ -119,12 +148,12 @@ class _ShardSource:
 
 
 @dataclass(frozen=True)
-class _ShardTask:
+class ShardTask:
     """One round of draws for one shard — self-contained and picklable."""
 
     index: int
     design: str
-    source: _ShardSource
+    source: ShardSource
     count: int
     cap: int
     rng_state: dict | None
@@ -133,7 +162,7 @@ class _ShardTask:
 
 
 @dataclass(frozen=True)
-class _ShardResult:
+class ShardResult:
     index: int
     rows: np.ndarray
     counts: np.ndarray
@@ -244,7 +273,7 @@ def _wor_permutation(perm_seed: np.random.SeedSequence, span: int) -> np.ndarray
     return permutation
 
 
-def _run_task(task: _ShardTask, attached: tuple[np.ndarray, np.ndarray] | None) -> _ShardResult:
+def _run_task(task: ShardTask, attached: tuple[np.ndarray, np.ndarray] | None) -> ShardResult:
     started = time.perf_counter()
     source = task.source
     view: ShardView | None = None
@@ -315,7 +344,7 @@ def _run_task(task: _ShardTask, attached: tuple[np.ndarray, np.ndarray] | None) 
         rows = row_base + local
     if sizes is None:
         sizes = sizes_all[local] if design != "fixed" else sizes_all
-    return _ShardResult(
+    return ShardResult(
         index=task.index,
         rows=np.asarray(rows, dtype=np.int64),
         counts=np.asarray(counts, dtype=np.int64),
@@ -327,7 +356,7 @@ def _run_task(task: _ShardTask, attached: tuple[np.ndarray, np.ndarray] | None) 
     )
 
 
-def _execute_task(task: _ShardTask) -> _ShardResult:
+def _execute_task(task: ShardTask) -> ShardResult:
     """Pool entry point: resolve the worker attachment and run the task."""
     return _run_task(task, _WORKER_ATTACH)
 
@@ -340,6 +369,142 @@ def _unit_label_sums(counts: np.ndarray, positions: np.ndarray, labels: np.ndarr
     prefix = np.concatenate(([0.0], np.cumsum(correct)))
     ends = np.cumsum(counts)
     return prefix[ends] - prefix[ends - counts]
+
+
+# --------------------------------------------------------------------------- #
+# Transports: where shard tasks execute
+# --------------------------------------------------------------------------- #
+class ShardTransport(ABC):
+    """Executes :class:`ShardTask`\\ s somewhere and returns their results.
+
+    Lifecycle: :meth:`bind` is called once with the master's CSR index (and
+    optional snapshot directory) before any task runs; :meth:`execute` is
+    called once per round with a list of self-contained tasks and must
+    return the matching :class:`ShardResult`\\ s **in task order**;
+    :meth:`close` releases whatever the transport holds (pools, sockets).
+
+    Contract: a result is a pure function of ``(task, bound CSR index)`` —
+    every transport must produce bit-identical results for the same bound
+    index and task list, so serial == pool == RPC trajectories hold by
+    construction and are enforced by the parity suites.
+    """
+
+    def bind(
+        self,
+        offsets: np.ndarray,
+        positions: np.ndarray,
+        *,
+        snapshot: str | None = None,
+    ) -> None:
+        """Attach the transport to the run population's CSR index.
+
+        Each call advances :attr:`bind_generation`; executors record the
+        generation they bound and refuse to execute after another executor
+        re-binds the transport, so two live executors can never silently
+        run tasks against each other's index.
+        """
+        self._offsets = offsets
+        self._positions = positions
+        self._snapshot = snapshot
+        self.bind_generation = getattr(self, "bind_generation", 0) + 1
+
+    @property
+    def default_shards(self) -> int | None:
+        """Natural shard count for this transport (worker/node count).
+
+        ``None`` when the transport has no parallelism to size against
+        (serial); callers fall back to their own default.  Only a *default*
+        — the shard count is part of a run's random-stream identity, so
+        callers comparing trajectories must fix it explicitly.
+        """
+        return None
+
+    @abstractmethod
+    def execute(self, tasks: list[ShardTask]) -> list[ShardResult]:
+        """Run every task and return results aligned with the input order."""
+
+    def close(self) -> None:
+        """Release transport resources; the transport may be re-bound later."""
+
+
+class SerialTransport(ShardTransport):
+    """In-process execution of the sharded plan — the parity reference.
+
+    Identical draws to every other transport, no processes, no sockets; the
+    default when an executor is created without ``workers`` or
+    ``transport``.
+    """
+
+    def execute(self, tasks: list[ShardTask]) -> list[ShardResult]:
+        attached = (self._offsets, self._positions)
+        return [_run_task(task, attached) for task in tasks]
+
+
+class ProcessPoolTransport(ShardTransport):
+    """Local fork/spawn process-pool execution (the historical ``workers=``).
+
+    Workers attach to the bound CSR index copy-on-write through the module
+    registry on ``fork`` platforms, via ``mmap`` when the transport is bound
+    with a snapshot directory, or by receiving the arrays once per worker
+    under ``spawn``.  The pool is created lazily on the first round and can
+    be re-created after :meth:`close`.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self.workers = int(workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._attach_key: str | None = None
+
+    @property
+    def default_shards(self) -> int | None:
+        return self.workers
+
+    def bind(self, offsets, positions, *, snapshot=None) -> None:
+        # A live pool's workers attached to the previously bound index; tear
+        # it down so re-binding (a second executor reusing this transport)
+        # can never execute tasks against stale arrays.
+        self.close()
+        super().bind(offsets, positions, snapshot=snapshot)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context("spawn")
+            if self._snapshot is not None:
+                init_args = ("snapshot", self._snapshot)
+            elif context.get_start_method() == "fork":
+                self._attach_key = uuid.uuid4().hex
+                _ATTACH_REGISTRY[self._attach_key] = (self._offsets, self._positions)
+                init_args = ("registry", self._attach_key)
+            else:  # pragma: no cover - spawn fallback ships the arrays once
+                init_args = (
+                    "arrays",
+                    (np.asarray(self._offsets), np.asarray(self._positions)),
+                )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=init_args,
+            )
+        return self._pool
+
+    def execute(self, tasks: list[ShardTask]) -> list[ShardResult]:
+        pool = self._ensure_pool()
+        futures = [pool.submit(_execute_task, task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._attach_key is not None:
+            _ATTACH_REGISTRY.pop(self._attach_key, None)
+            self._attach_key = None
 
 
 # --------------------------------------------------------------------------- #
@@ -366,6 +531,7 @@ class SamplingRun:
         cost_model: CostModel | None = None,
         segment=None,
         strata: list[np.ndarray] | None = None,
+        allocation: str = "proportional",
     ) -> None:
         if design == "twcs-strat" and strata is None:
             raise ValueError("design 'twcs-strat' requires strata row arrays")
@@ -375,7 +541,14 @@ class SamplingRun:
             raise ValueError(f"unknown design {design!r}; choose from {PARALLEL_DESIGNS}")
         if second_stage_size < 1:
             raise ValueError("second_stage_size must be at least 1")
+        if allocation not in ("proportional", "neyman"):
+            raise ValueError(
+                f"allocation must be 'proportional' or 'neyman', got {allocation!r}"
+            )
+        if allocation == "neyman" and design != "twcs-strat":
+            raise ValueError("allocation='neyman' requires a stratified run (strata=)")
         self.design = design
+        self.allocation = allocation
         self.second_stage_size = second_stage_size
         self.plan = plan
         self._executor = executor
@@ -384,7 +557,7 @@ class SamplingRun:
         self._segment = segment
 
         # Build the task sources (one per shard; strata multiply them).
-        self._sources: list[_ShardSource] = []
+        self._sources: list[ShardSource] = []
         self._task_strata: list[int] = []
         self._stratum_weights: list[float] = []
         self._source_entities = 0
@@ -398,7 +571,7 @@ class SamplingRun:
                 lo, hi = seg_plan.row_range(shard)
                 base = int(seg_offsets[lo])
                 self._sources.append(
-                    _ShardSource(
+                    ShardSource(
                         kind="csr",
                         offsets=seg_offsets[lo : hi + 1] - base,
                         positions=seg_positions[base : int(seg_offsets[hi])],
@@ -418,7 +591,7 @@ class SamplingRun:
                 self._stratum_weights.append(float(stratum_triples))
                 for _, indices in plan.partition_rows(stratum_rows):
                     self._sources.append(
-                        _ShardSource(kind="rows", rows=stratum_rows[indices])
+                        ShardSource(kind="rows", rows=stratum_rows[indices])
                     )
                     self._task_strata.append(stratum_index)
                 self._source_entities += int(stratum_rows.shape[0])
@@ -429,7 +602,7 @@ class SamplingRun:
         else:
             for shard in range(plan.num_shards):
                 lo, hi = plan.row_range(shard)
-                self._sources.append(_ShardSource(kind="range", lo=lo, hi=hi))
+                self._sources.append(ShardSource(kind="range", lo=lo, hi=hi))
                 self._task_strata.append(0)
             self._source_entities = plan.num_entities
             self._source_triples = plan.num_triples
@@ -497,7 +670,7 @@ class SamplingRun:
                 largest_remainder(remaining, count), (self._limits - self._cursors)
             )
         if self.design == "twcs-strat":
-            per_stratum = proportional_allocation(self._stratum_weights, count)
+            per_stratum = self._stratum_allocation(count)
             allocation = np.zeros(num_tasks, dtype=np.int64)
             for stratum_index, stratum_count in enumerate(per_stratum):
                 task_ids = [
@@ -508,6 +681,30 @@ class SamplingRun:
                     allocation[task_id] = task_count
             return allocation
         return largest_remainder(self._weights, count)
+
+    def _stratum_allocation(self, count: int) -> list[int]:
+        """Per-stratum draw counts under the run's allocation rule.
+
+        Mirrors :meth:`StratifiedTWCSDesign._allocate` exactly, but computes
+        each stratum's observed cluster-accuracy spread by merging that
+        stratum's *shard* accumulators — so the Neyman decision is identical
+        on every transport and worker count.  Falls back to proportional
+        allocation until every stratum has at least two annotated draws.
+        """
+        if self.allocation == "neyman":
+            stds: list[float] = []
+            for stratum_index in range(len(self._stratum_weights)):
+                merged = RunningMean()
+                for task_id, task_stratum in enumerate(self._task_strata):
+                    if task_stratum == stratum_index:
+                        merged.merge(self._accumulators[task_id])
+                if merged.count >= 2 and not math.isinf(merged.std_error):
+                    stds.append(merged.std_error * math.sqrt(merged.count))
+                else:
+                    break
+            else:
+                return neyman_allocation(self._stratum_weights, stds, count)
+        return proportional_allocation(self._stratum_weights, count)
 
     @property
     def exhausted(self) -> bool:
@@ -529,7 +726,7 @@ class SamplingRun:
         tasks = []
         for index in np.flatnonzero(allocation):
             tasks.append(
-                _ShardTask(
+                ShardTask(
                     index=int(index),
                     design="twcs" if self.design == "twcs-strat" else self.design,
                     source=self._sources[index],
@@ -566,7 +763,7 @@ class SamplingRun:
         return draws
 
     def _fold(
-        self, index: int, result: _ShardResult, sums: np.ndarray, rows: np.ndarray
+        self, index: int, result: ShardResult, sums: np.ndarray, rows: np.ndarray
     ) -> None:
         counts = result.counts
         num_units = int(counts.shape[0])
@@ -635,8 +832,6 @@ class SamplingRun:
         )
 
     def _stratified_estimate(self) -> Estimate:
-        import math
-
         value = 0.0
         variance = 0.0
         num_units = 0
@@ -720,7 +915,7 @@ class SamplingRun:
 # The executor: pool + attachment factory for runs
 # --------------------------------------------------------------------------- #
 class ParallelSamplingExecutor:
-    """Process-pool front end for sharded position-surface sampling.
+    """Transport-backed front end for sharded position-surface sampling.
 
     Parameters
     ----------
@@ -729,15 +924,23 @@ class ParallelSamplingExecutor:
         a CSR index works (columnar, delta view, in-memory cached CSR).
         May be omitted when ``snapshot`` is given.
     workers:
-        ``None`` (or 0) executes every shard task in-process — the *serial
-        position surface* of the sharded plan and the parity reference for
-        the pool; ``>= 1`` fans tasks across that many worker processes.
+        Convenience shorthand when no ``transport`` is given: ``None`` (or
+        0) selects a :class:`SerialTransport` — the *serial position
+        surface* of the sharded plan and the parity reference; ``>= 1``
+        selects a :class:`ProcessPoolTransport` with that many worker
+        processes.
     num_shards:
         Default shard count for plans built by this executor (defaults to
         ``max(workers, 1)``).
     snapshot:
-        Optional snapshot *directory* path: workers attach to the CSR
+        Optional snapshot *directory* path: pool workers attach to the CSR
         columns memory-mapped instead of inheriting them.
+    transport:
+        An explicit :class:`ShardTransport` (e.g. a
+        :class:`~repro.sampling.rpc.SocketRPCTransport` over remote nodes).
+        The executor binds it to the population's CSR index and owns it:
+        :meth:`close` closes the transport.  Mutually exclusive with
+        ``workers``.
     """
 
     def __init__(
@@ -747,9 +950,12 @@ class ParallelSamplingExecutor:
         workers: int | None = None,
         num_shards: int | None = None,
         snapshot: str | Path | None = None,
+        transport: ShardTransport | None = None,
     ) -> None:
         if graph is None and snapshot is None:
             raise ValueError("either graph or snapshot is required")
+        if transport is not None and workers:
+            raise ValueError("pass either transport= or workers=, not both")
         if snapshot is not None and graph is None:
             offsets, positions = _load_snapshot_csr(str(snapshot))
         else:
@@ -763,60 +969,35 @@ class ParallelSamplingExecutor:
         self.positions = positions
         self.workers = int(workers) if workers else None
         self.snapshot = str(snapshot) if snapshot is not None else None
-        self.num_shards = num_shards if num_shards is not None else max(self.workers or 1, 1)
-        self._plan: ShardPlan | None = None
-        self._pool: ProcessPoolExecutor | None = None
-        self._attach_key: str | None = None
-
-    # ------------------------------------------------------------------ #
-    # Pool management
-    # ------------------------------------------------------------------ #
-    def _ensure_pool(self) -> ProcessPoolExecutor | None:
-        if self.workers is None:
-            return None
-        if self._pool is None:
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                context = multiprocessing.get_context("spawn")
-            if self.snapshot is not None:
-                init_args = ("snapshot", self.snapshot)
-            elif context.get_start_method() == "fork":
-                self._attach_key = uuid.uuid4().hex
-                _ATTACH_REGISTRY[self._attach_key] = (self.offsets, self.positions)
-                init_args = ("registry", self._attach_key)
-            else:  # pragma: no cover - spawn fallback ships the arrays once
-                init_args = (
-                    "arrays",
-                    (np.asarray(self.offsets), np.asarray(self.positions)),
-                )
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=context,
-                initializer=_init_worker,
-                initargs=init_args,
+        if transport is None:
+            transport = (
+                ProcessPoolTransport(self.workers)
+                if self.workers is not None
+                else SerialTransport()
             )
-        return self._pool
+        self.transport = transport
+        self.transport.bind(self.offsets, self.positions, snapshot=self.snapshot)
+        self._bind_generation = transport.bind_generation
+        if num_shards is not None:
+            self.num_shards = num_shards
+        else:
+            self.num_shards = transport.default_shards or max(self.workers or 1, 1)
+        self._plan: ShardPlan | None = None
 
-    def _map(self, tasks: list[_ShardTask]) -> list[_ShardResult]:
+    def _map(self, tasks: list[ShardTask]) -> list[ShardResult]:
         """Execute tasks, returning results in task order (not completion order)."""
         if not tasks:
             return []
-        pool = self._ensure_pool()
-        if pool is None:
-            attached = (self.offsets, self.positions)
-            return [_run_task(task, attached) for task in tasks]
-        futures = [pool.submit(_execute_task, task) for task in tasks]
-        return [future.result() for future in futures]
+        if self.transport.bind_generation != self._bind_generation:
+            raise RuntimeError(
+                "transport was re-bound by another executor; a ShardTransport "
+                "serves one live executor at a time"
+            )
+        return self.transport.execute(tasks)
 
     def close(self) -> None:
-        """Shut the worker pool down and release the attachment."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        if self._attach_key is not None:
-            _ATTACH_REGISTRY.pop(self._attach_key, None)
-            self._attach_key = None
+        """Close the transport (worker pools, node connections)."""
+        self.transport.close()
 
     def __enter__(self) -> "ParallelSamplingExecutor":
         return self
@@ -847,6 +1028,7 @@ class ParallelSamplingExecutor:
         cost_model: CostModel | None = None,
         segment=None,
         strata: list[np.ndarray] | None = None,
+        allocation: str = "proportional",
     ) -> SamplingRun:
         """Start a sharded draw/estimate session (see :class:`SamplingRun`)."""
         if plan is None:
@@ -861,6 +1043,7 @@ class ParallelSamplingExecutor:
             cost_model=cost_model,
             segment=segment,
             strata=strata,
+            allocation=allocation,
         )
 
     def sample_rows(
@@ -889,10 +1072,10 @@ class ParallelSamplingExecutor:
         tasks = []
         for shard, indices in parts:
             tasks.append(
-                _ShardTask(
+                ShardTask(
                     index=shard,
                     design="fixed",
-                    source=_ShardSource(kind="rows", rows=rows[indices]),
+                    source=ShardSource(kind="rows", rows=rows[indices]),
                     count=int(indices.shape[0]),
                     cap=cap,
                     rng_state=np.random.default_rng(children[shard]).bit_generator.state,

@@ -1,0 +1,513 @@
+"""Socket RPC shard transport: multi-node execution of shard tasks.
+
+The wire protocol is deliberately small: every message is one pickled
+Python object behind an 8-byte big-endian length prefix
+(:func:`send_message` / :func:`recv_message`, with :func:`encode_message` /
+:func:`decode_message` as the pure byte codec).  A worker node
+(``repro worker --listen HOST:PORT``) accepts one master connection at a
+time and speaks five operations:
+
+``hello``
+    Handshake: protocol version check, worker advertises its cached
+    snapshot digests.
+``attach {digest}``
+    Bind the connection to a CSR index by content address.  The worker
+    replies ``ok`` when its :class:`~repro.storage.distribute.SnapshotCache`
+    already holds the digest (memory-mapping the columns), or
+    ``need_snapshot`` — the master then streams one ``put_snapshot`` with
+    the packaged ``.npy`` columns and re-attaches.  An unchanged graph is
+    therefore shipped to each node **once**, across runs and reconnects.
+``put_snapshot {digest, arrays}``
+    Store a packaged snapshot in the worker's content-addressed cache.
+``task {task}``
+    Execute one self-contained :class:`~repro.sampling.parallel.ShardTask`
+    against the attached index and return its
+    :class:`~repro.sampling.parallel.ShardResult`.
+``shutdown``
+    Close the connection (the worker keeps listening for the next master).
+
+:class:`SocketRPCTransport` implements the master side of the
+:class:`~repro.sampling.parallel.ShardTransport` contract: tasks are
+streamed to live nodes (one draining thread per node), results are slotted
+back **in task order**, and a dropped node's unacknowledged tasks are
+reassigned to the surviving nodes.  Because every task carries its own
+random-generator state, re-executing it elsewhere reproduces the identical
+result — node failures never perturb a trajectory, they only change which
+machine computed it.  Labels never cross the wire; workers only ever hold
+the CSR index.
+
+Trust model: messages are pickled, so the transport is for clusters you
+control end-to-end (the same trust level as the fork pool), not for
+untrusted networks.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+
+from repro.sampling.parallel import ShardResult, ShardTask, ShardTransport, _run_task
+from repro.storage.distribute import SnapshotCache, csr_digest, pack_csr
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RPCError",
+    "RPCTaskError",
+    "encode_message",
+    "decode_message",
+    "send_message",
+    "recv_message",
+    "parse_node_address",
+    "serve_worker",
+    "SocketRPCTransport",
+]
+
+PROTOCOL_VERSION = 1
+_LENGTH = struct.Struct(">Q")
+#: Upper bound on one frame (a packaged CSR column dominates; 16 GiB is far
+#: beyond any graph this engine targets and catches corrupted prefixes).
+MAX_MESSAGE_BYTES = 16 * 2**30
+
+
+class RPCError(RuntimeError):
+    """Transport-level failure (connection, protocol, no surviving nodes)."""
+
+
+class RPCTaskError(RPCError):
+    """A shard task raised on the worker; re-raised on the master.
+
+    Unlike a connection drop this is *not* retried on another node — the
+    task itself is at fault and would fail identically everywhere.
+    """
+
+
+# --------------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------------- #
+def encode_message(obj) -> bytes:
+    """Serialise one message (length prefix + pickle payload)."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_message(data: bytes):
+    """Inverse of :func:`encode_message` for one complete frame."""
+    if len(data) < _LENGTH.size:
+        raise RPCError(f"truncated frame: {len(data)} bytes")
+    (length,) = _LENGTH.unpack(data[: _LENGTH.size])
+    payload = data[_LENGTH.size :]
+    if len(payload) != length:
+        raise RPCError(f"frame length mismatch: header {length}, payload {len(payload)}")
+    return pickle.loads(payload)
+
+
+def send_message(sock: socket.socket, obj) -> None:
+    """Write one framed message to a socket."""
+    sock.sendall(encode_message(obj))
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count and not chunks:
+                return None  # clean EOF at a frame boundary
+            raise RPCError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket):
+    """Read one framed message; returns ``None`` on clean end-of-stream."""
+    header = _recv_exactly(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise RPCError(f"frame of {length} bytes exceeds limit {MAX_MESSAGE_BYTES}")
+    payload = _recv_exactly(sock, length) if length else b""
+    if payload is None:
+        raise RPCError("connection closed mid-frame")
+    return pickle.loads(payload)
+
+
+def parse_node_address(spec: str | tuple[str, int]) -> tuple[str, int]:
+    """Parse ``"host:port"`` (or pass through a ``(host, port)`` pair)."""
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    host, separator, port = spec.rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"node address {spec!r} is not of the form host:port")
+    return host, int(port)
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+def _reply_for(
+    op,
+    message: dict,
+    cache: SnapshotCache,
+    attached: tuple[np.ndarray, np.ndarray] | None,
+) -> dict:
+    """Compute the worker's reply to one request (side effects already done)."""
+    if op == "hello":
+        return {
+            "op": "hello",
+            "version": PROTOCOL_VERSION,
+            "digests": cache.digests(),
+        }
+    if op == "attach":
+        if attached is not None:
+            return {"op": "ok"}
+        return {"op": "need_snapshot", "digest": message["digest"]}
+    if op == "put_snapshot":
+        cache.store(message["digest"], message["arrays"])
+        return {"op": "ok"}
+    if op == "task":
+        try:
+            result = _run_task(message["task"], attached)
+        except Exception as exc:  # propagate to the master, don't kill the worker
+            return {"op": "error", "message": f"{type(exc).__name__}: {exc}"}
+        return {"op": "result", "result": result}
+    return {"op": "error", "message": f"unknown op {op!r}"}
+
+
+def _serve_connection(conn: socket.socket, cache: SnapshotCache) -> None:
+    attached: tuple[np.ndarray, np.ndarray] | None = None
+    with conn:
+        while True:
+            # Any per-message failure — master vanished mid-frame, RST while
+            # we reply to an in-flight task, garbage that does not unpickle,
+            # a non-dict or keyless message from a stray client — drops
+            # *this* connection only; the worker keeps listening for the
+            # next master.  (Task execution errors are replied, not raised.)
+            try:
+                message = recv_message(conn)
+                if message is None:
+                    return
+                op = message.get("op")
+                if op == "shutdown":
+                    return
+                if op == "attach":
+                    # A failed attach clears any previous attachment: the
+                    # master wants *this* digest, and stale arrays must
+                    # never answer it.
+                    digest = message["digest"]
+                    attached = cache.load_csr(digest) if cache.has(digest) else None
+                send_message(conn, _reply_for(op, message, cache, attached))
+            except Exception:
+                return
+
+
+def serve_worker(
+    host: str,
+    port: int,
+    cache_dir: str | Path,
+    *,
+    on_ready=None,
+    max_connections: int | None = None,
+    idle_timeout: float | None = 3600.0,
+) -> None:
+    """Run a worker node: accept master connections and execute shard tasks.
+
+    Binds ``host:port`` (``port=0`` picks an ephemeral port), then serves
+    one connection at a time until ``max_connections`` is exhausted (or
+    forever).  ``on_ready(host, port)`` fires once with the actual bound
+    address — the CLI prints it so callers using port 0 learn the port.
+    Snapshot shards received from masters persist in ``cache_dir`` across
+    connections, so a restarted evaluation re-ships nothing.
+
+    ``idle_timeout`` bounds how long one connection may sit silent: a master
+    that half-opens and vanishes without an RST (partition, SIGSTOP) cannot
+    wedge the single-connection worker forever — the stale connection is
+    dropped and the node returns to accepting.  A master that idles longer
+    than this between rounds observes the node as dropped on its next round
+    (and reassigns accordingly), so keep the default generous.
+    """
+    cache = SnapshotCache(cache_dir)
+    with socket.create_server((host, port)) as server:
+        bound_host, bound_port = server.getsockname()[:2]
+        if on_ready is not None:
+            on_ready(bound_host, bound_port)
+        served = 0
+        while max_connections is None or served < max_connections:
+            conn, _ = server.accept()
+            conn.settimeout(idle_timeout)
+            served += 1
+            _serve_connection(conn, cache)
+
+
+# --------------------------------------------------------------------------- #
+# Master side
+# --------------------------------------------------------------------------- #
+class _Node:
+    """One master→worker connection with lazy attach and failure latching."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float,
+        io_timeout: float | None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self.sock: socket.socket | None = None
+        self.dead = False
+        self.last_error: str | None = None
+        self.attached_digest: str | None = None
+        self.snapshots_shipped = 0
+        self.tasks_executed = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def mark_dead(self, error: Exception | str) -> None:
+        self.dead = True
+        self.last_error = str(error)
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:  # pragma: no cover - close failures are moot
+                pass
+            self.sock = None
+
+    def _request(self, message: dict) -> dict:
+        assert self.sock is not None
+        send_message(self.sock, message)
+        reply = recv_message(self.sock)
+        if reply is None:
+            raise RPCError(f"node {self.address} closed the connection")
+        return reply
+
+    def ensure_ready(self, digest: str, package_bytes) -> None:
+        """Connect, handshake and attach the node to ``digest`` (idempotent)."""
+        if self.dead:
+            raise RPCError(f"node {self.address} is dead: {self.last_error}")
+        if self.sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+            # A finite per-operation deadline: a silently partitioned or
+            # wedged node (no FIN/RST ever arrives) times out, which latches
+            # it dead and reassigns its tasks — instead of hanging forever.
+            sock.settimeout(self.io_timeout)
+            self.sock = sock
+            self.attached_digest = None
+            hello = self._request({"op": "hello", "version": PROTOCOL_VERSION})
+            if hello.get("op") != "hello" or hello.get("version") != PROTOCOL_VERSION:
+                raise RPCError(
+                    f"node {self.address} spoke {hello!r}, "
+                    f"expected hello v{PROTOCOL_VERSION}"
+                )
+        if self.attached_digest == digest:
+            return
+        reply = self._request({"op": "attach", "digest": digest})
+        if reply.get("op") == "need_snapshot":
+            self._request({"op": "put_snapshot", "digest": digest, "arrays": package_bytes()})
+            self.snapshots_shipped += 1
+            reply = self._request({"op": "attach", "digest": digest})
+        if reply.get("op") != "ok":
+            raise RPCError(f"node {self.address} failed to attach {digest}: {reply!r}")
+        self.attached_digest = digest
+
+    def run_task(self, task: ShardTask) -> ShardResult:
+        reply = self._request({"op": "task", "task": task})
+        op = reply.get("op")
+        if op == "error":
+            raise RPCTaskError(f"node {self.address}: {reply.get('message')}")
+        if op != "result":
+            raise RPCError(f"node {self.address} returned {op!r} for a task")
+        self.tasks_executed += 1
+        return reply["result"]
+
+    def close(self) -> None:
+        if self.sock is not None:
+            try:
+                send_message(self.sock, {"op": "shutdown"})
+            except OSError:
+                pass
+            try:
+                self.sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self.sock = None
+        self.attached_digest = None
+
+
+class SocketRPCTransport(ShardTransport):
+    """Execute shard tasks on remote worker nodes over loopback/LAN TCP.
+
+    Parameters
+    ----------
+    nodes:
+        Worker addresses — ``"host:port"`` strings or ``(host, port)``
+        pairs, each one a running ``repro worker --listen`` process.
+    connect_timeout:
+        Seconds to wait for a node's TCP connect before declaring it dead.
+    io_timeout:
+        Per-operation socket deadline (seconds).  A node that stops
+        responding without closing the connection — pulled cable, firewall
+        drop, wedged process — trips this, is latched dead and has its
+        tasks reassigned.  Generous by default (it bounds one snapshot
+        transfer or one shard round, not the whole run); ``None`` disables
+        the deadline.
+
+    Failure handling: a node that drops mid-round (connection reset, kill
+    -9, network partition) is latched dead and its in-flight plus queued
+    tasks are drained by the surviving nodes.  Tasks are pure functions of
+    ``(task, CSR index)`` — each carries the exact per-shard generator
+    state it must resume from — so the reassigned execution is bit-identical
+    and the run's determinism contract survives any drop pattern.  Only
+    when *no* node survives does :meth:`execute` raise :class:`RPCError`.
+    """
+
+    def __init__(
+        self,
+        nodes,
+        *,
+        connect_timeout: float = 10.0,
+        io_timeout: float | None = 600.0,
+    ) -> None:
+        addresses = [parse_node_address(node) for node in nodes]
+        if not addresses:
+            raise ValueError("SocketRPCTransport requires at least one node address")
+        self._nodes = [
+            _Node(host, port, connect_timeout, io_timeout) for host, port in addresses
+        ]
+        self._digest: str | None = None
+        self._package: dict[str, bytes] | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def default_shards(self) -> int | None:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------ #
+    # Binding and snapshot packaging
+    # ------------------------------------------------------------------ #
+    def bind(self, offsets, positions, *, snapshot=None) -> None:
+        super().bind(offsets, positions, snapshot=snapshot)
+        self._digest = None
+        self._package = None
+
+    @property
+    def digest(self) -> str:
+        """Content address of the bound CSR index (computed lazily, once)."""
+        if self._digest is None:
+            self._digest = csr_digest(self._offsets, self._positions)
+        return self._digest
+
+    def _package_bytes(self) -> dict[str, bytes]:
+        # Packed once per bind, and only if some node actually lacks the
+        # digest; nodes that already hold it never trigger the packing cost.
+        if self._package is None:
+            self._package = pack_csr(self._offsets, self._positions)
+        return self._package
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _ready_nodes(self) -> list[_Node]:
+        ready = []
+        for node in self._nodes:
+            if node.dead:
+                continue
+            try:
+                node.ensure_ready(self.digest, self._package_bytes)
+            except (OSError, RPCError) as exc:
+                node.mark_dead(exc)
+                continue
+            ready.append(node)
+        # Every surviving node now holds the digest (dead nodes never come
+        # back), so the packed payload is dead weight — release it rather
+        # than doubling the master's resident CSR footprint for the run.
+        self._package = None
+        return ready
+
+    def execute(self, tasks: list[ShardTask]) -> list[ShardResult]:
+        results: list[ShardResult | None] = [None] * len(tasks)
+        pending: deque[tuple[int, ShardTask]] = deque(enumerate(tasks))
+        task_error: list[RPCTaskError] = []
+
+        def drain(node: _Node) -> None:
+            while not task_error:
+                with self._lock:
+                    if not pending:
+                        return
+                    slot, task = pending.popleft()
+                try:
+                    result = node.run_task(task)
+                except RPCTaskError as exc:
+                    task_error.append(exc)
+                    with self._lock:
+                        pending.appendleft((slot, task))
+                    return
+                except Exception as exc:
+                    # Connection drop, deadline, malformed/undecodable reply:
+                    # all count as a failed *node* — latch it dead, requeue
+                    # the task for the survivors, stop draining.  Nothing may
+                    # leak a task (a None result would corrupt the merge).
+                    node.mark_dead(exc)
+                    with self._lock:
+                        pending.appendleft((slot, task))
+                    return
+                results[slot] = result
+
+        while pending and not task_error:
+            nodes = self._ready_nodes()
+            if not nodes:
+                errors = "; ".join(
+                    f"{node.address}: {node.last_error}" for node in self._nodes
+                )
+                raise RPCError(f"no live worker nodes remain ({errors})")
+            threads = [
+                threading.Thread(target=drain, args=(node,), daemon=True)
+                for node in nodes
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if task_error:
+            raise task_error[0]
+        if any(result is None for result in results):  # pragma: no cover - guard
+            raise RPCError("transport lost a task without raising; refusing to merge")
+        return results  # type: ignore[return-value]
+
+    def close(self) -> None:
+        for node in self._nodes:
+            node.close()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Per-transport counters (shipping, execution, node health)."""
+        return {
+            "nodes": [
+                {
+                    "address": node.address,
+                    "dead": node.dead,
+                    "snapshots_shipped": node.snapshots_shipped,
+                    "tasks_executed": node.tasks_executed,
+                }
+                for node in self._nodes
+            ],
+            "snapshots_shipped": sum(n.snapshots_shipped for n in self._nodes),
+            "live_nodes": sum(not n.dead for n in self._nodes),
+        }

@@ -1,0 +1,145 @@
+"""Content-addressed distribution of CSR snapshot shards to worker nodes.
+
+The RPC transport (:mod:`repro.sampling.rpc`) ships a graph's frozen CSR
+cluster index — ``cluster_offsets`` / ``cluster_positions`` — to remote
+worker nodes exactly once.  Three pieces make that cheap and idempotent:
+
+* :func:`csr_digest` — a stable content address (SHA-256 over dtype, shape
+  and raw bytes of both arrays).  Masters ask a node "do you hold digest
+  ``d``?" before shipping anything, so an unchanged graph is never re-sent
+  across runs, transports or reconnects;
+* :func:`pack_csr` / :func:`unpack_array` — portable ``.npy`` byte
+  serialisation of the columns (the same format
+  :class:`~repro.storage.snapshot.SnapshotStore` directories use on disk);
+* :class:`SnapshotCache` — the worker-side store: each digest materialises
+  as a directory of ``.npy`` files under the cache root, written atomically
+  (temp dir + rename) and re-opened memory-mapped, so a node's resident
+  footprint is the CSR pages its shard tasks actually touch.
+
+Nothing here talks to sockets; the transport composes these primitives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import os
+import shutil
+import uuid
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "csr_digest",
+    "pack_array",
+    "pack_csr",
+    "unpack_array",
+    "SnapshotCache",
+    "CSR_ARRAY_NAMES",
+]
+
+#: Array names a CSR snapshot package always carries, in shipping order.
+CSR_ARRAY_NAMES = ("cluster_offsets", "cluster_positions")
+
+
+def csr_digest(offsets: np.ndarray, positions: np.ndarray) -> str:
+    """Stable content address of a CSR index (hex SHA-256).
+
+    Covers dtype, shape and raw bytes of both arrays, so any change to the
+    index — new triples, re-freeze, different dtype — yields a new digest
+    while byte-identical indices (including re-opened snapshots) share one.
+    """
+    digest = hashlib.sha256()
+    for array in (offsets, positions):
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.dtype.str).encode("ascii"))
+        digest.update(str(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def pack_array(array: np.ndarray) -> bytes:
+    """Serialise one array to ``.npy`` bytes (portable across platforms)."""
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
+    return buffer.getvalue()
+
+
+def unpack_array(data: bytes) -> np.ndarray:
+    """Inverse of :func:`pack_array`."""
+    return np.load(io.BytesIO(data), allow_pickle=False)
+
+
+def pack_csr(offsets: np.ndarray, positions: np.ndarray) -> dict[str, bytes]:
+    """Package a CSR index for shipping, keyed by :data:`CSR_ARRAY_NAMES`."""
+    return {
+        "cluster_offsets": pack_array(offsets),
+        "cluster_positions": pack_array(positions),
+    }
+
+
+class SnapshotCache:
+    """Worker-side content-addressed store of received snapshot shards.
+
+    Each digest owns one directory ``<root>/<digest>/`` holding the packaged
+    arrays as ``.npy`` files.  :meth:`store` writes into a temporary sibling
+    directory and renames it into place, so a partially received snapshot
+    (worker killed mid-transfer) never satisfies :meth:`has`.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # Sweep staging leftovers from a process killed mid-store: they are
+        # incomplete by definition and must never shadow a real digest.
+        for entry in self.root.glob(".tmp-*"):
+            shutil.rmtree(entry, ignore_errors=True)
+
+    def path(self, digest: str) -> Path:
+        """The directory a digest materialises at (whether or not it exists)."""
+        return self.root / digest
+
+    def has(self, digest: str) -> bool:
+        """Whether this cache already holds a complete copy of ``digest``."""
+        return self.path(digest).is_dir()
+
+    def digests(self) -> list[str]:
+        """All complete digests currently held, sorted (staging dirs excluded)."""
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and not entry.name.startswith(".")
+        )
+
+    def store(self, digest: str, arrays: dict[str, bytes]) -> Path:
+        """Materialise a received snapshot package atomically; return its path."""
+        target = self.path(digest)
+        if target.is_dir():
+            return target
+        staging = self.root / f".tmp-{digest[:16]}-{uuid.uuid4().hex[:8]}"
+        staging.mkdir(parents=True)
+        try:
+            for name, data in arrays.items():
+                if os.sep in name or name.startswith("."):
+                    raise ValueError(f"unsafe array name {name!r} in snapshot package")
+                with open(staging / f"{name}.npy", "wb") as handle:
+                    handle.write(data)
+            os.replace(staging, target)
+        except OSError:
+            # A concurrent store of the same digest won the rename race: the
+            # content is identical by construction, so just use theirs.
+            shutil.rmtree(staging, ignore_errors=True)
+            if not target.is_dir():
+                raise
+        return target
+
+    def load_csr(self, digest: str) -> tuple[np.ndarray, np.ndarray]:
+        """Memory-map the CSR columns of a held digest."""
+        base = self.path(digest)
+        if not base.is_dir():
+            raise FileNotFoundError(f"snapshot digest {digest} not in cache {self.root}")
+        return (
+            np.load(base / "cluster_offsets.npy", mmap_mode="r"),
+            np.load(base / "cluster_positions.npy", mmap_mode="r"),
+        )

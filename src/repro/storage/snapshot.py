@@ -246,7 +246,11 @@ class SnapshotStore:
         return target
 
     def load_evaluator_state(
-        self, base, workers: int | None = None, num_shards: int | None = None
+        self,
+        base,
+        workers: int | None = None,
+        num_shards: int | None = None,
+        transport=None,
     ):
         """Rebuild the persisted evaluator over ``base`` (a reloaded LabelledKG).
 
@@ -262,7 +266,9 @@ class SnapshotStore:
             raise FileNotFoundError(f"no evaluator state at {target}")
         with open(target, "rb") as handle:
             state = pickle.load(handle)
-        return restore_evaluator(state, base, workers=workers, num_shards=num_shards)
+        return restore_evaluator(
+            state, base, workers=workers, num_shards=num_shards, transport=transport
+        )
 
 
 def _as_store(source) -> tuple[ColumnarStore, str]:

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import signal
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -11,6 +15,80 @@ from repro.generators.datasets import LabelledKG, make_movie_like, make_nell_lik
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
 from repro.labels.oracle import LabelOracle
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current trajectories "
+        "instead of comparing against them",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item: pytest.Item):
+    """Enforce ``@pytest.mark.timeout(N)`` as a hard SIGALRM deadline.
+
+    The RPC suite talks to real subprocesses over real sockets; a protocol
+    bug must fail the test, not hang the whole run.  POSIX-only (SIGALRM);
+    elsewhere the marker is a no-op.
+    """
+    marker = item.get_closest_marker("timeout")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        return (yield)
+    seconds = int(marker.args[0]) if marker.args else 60
+
+    def _expired(signum, frame):
+        raise TimeoutError(f"{item.nodeid} exceeded its hard {seconds}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class GoldenStore:
+    """Compare a payload against a checked-in golden JSON file.
+
+    ``check(name, payload)`` asserts exact equality (floats survive the JSON
+    round-trip bit-for-bit via ``repr``-based serialisation) against
+    ``tests/golden/<name>.json``.  With ``--update-golden`` the file is
+    rewritten instead — review the diff before committing it: every change
+    is an intentional trajectory shift.
+    """
+
+    def __init__(self, update: bool) -> None:
+        self.update = update
+
+    def check(self, name: str, payload) -> None:
+        path = GOLDEN_DIR / f"{name}.json"
+        if self.update:
+            GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            return
+        if not path.is_file():
+            pytest.fail(
+                f"golden file {path} is missing; run "
+                f"`pytest {Path(__file__).parent.name} --update-golden` and commit it"
+            )
+        recorded = json.loads(path.read_text())
+        assert payload == recorded, (
+            f"trajectory diverged from {path.name}; if the change is intentional, "
+            "regenerate with --update-golden and review the diff"
+        )
+
+
+@pytest.fixture()
+def golden(request: pytest.FixtureRequest) -> GoldenStore:
+    """Golden-file comparator honouring the ``--update-golden`` flag."""
+    return GoldenStore(request.config.getoption("--update-golden"))
 
 
 def build_toy_kg() -> tuple[KnowledgeGraph, LabelOracle]:

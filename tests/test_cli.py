@@ -153,3 +153,32 @@ class TestSnapshotEvaluateRoundTrip:
         capsys.readouterr()
         with pytest.raises(SystemExit):
             main(["evaluate", "--from-snapshot", target])
+
+
+class TestAllocationFlag:
+    def test_serial_twcs_strat_honours_allocation(self):
+        """--allocation must reach the in-process StratifiedTWCSDesign too."""
+        from repro.cli import _build_design, _load_dataset
+
+        data = _load_dataset("nell", 0, 0.01)
+        design = _build_design("twcs-strat", data, 5, 0, allocation="neyman")
+        assert design.allocation == "neyman"
+        assert _build_design("twcs-strat", data, 5, 0).allocation == "proportional"
+
+    def test_serial_twcs_strat_neyman_runs(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--dataset",
+                "nell",
+                "--design",
+                "twcs-strat",
+                "--allocation",
+                "neyman",
+                "--seed",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "estimated accuracy" in out

@@ -1,0 +1,127 @@
+"""Golden-trajectory regression suite.
+
+Every fixed-seed trajectory here is pinned bit-for-bit in
+``tests/golden/*.json``: the sharded engine's per-round estimate/cost
+series for all five cluster designs plus stratified TWCS (both allocation
+rules), and the full evaluation histories of both incremental evolving
+evaluators on the position surface.  A refactor — like swapping the shard
+execution transport — can no longer silently shift numbers: any divergence
+fails here with a pointer to ``--update-golden``, which rewrites the files
+for an *intentional* trajectory change (review that diff!).
+
+Floats survive the JSON round-trip exactly (``repr``-based shortest
+serialisation), so ``==`` on the loaded payload is a bit-identity check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EvaluationConfig
+from repro.evolving.reservoir_eval import ReservoirIncrementalEvaluator
+from repro.evolving.stratified_eval import StratifiedIncrementalEvaluator
+from repro.generators.datasets import LabelledKG, make_nell_like
+from repro.generators.workload import UpdateWorkloadGenerator
+from repro.sampling.parallel import PARALLEL_DESIGNS, ParallelSamplingExecutor
+from repro.sampling.stratification import stratify_by_size
+
+_SEED = 2026
+_ROUNDS = 4
+_ROUND_SIZE = 40
+
+
+@pytest.fixture(scope="module")
+def labelled():
+    data = make_nell_like(seed=0)
+    graph = data.graph.to_columnar()
+    return LabelledKG(graph, data.oracle), data.oracle.as_position_array(graph)
+
+
+def _strata_rows(graph) -> list[np.ndarray]:
+    return [
+        np.fromiter(
+            (graph.entity_row(entity_id) for entity_id in stratum.entity_ids),
+            dtype=np.int64,
+            count=stratum.num_entities,
+        )
+        for stratum in stratify_by_size(graph, num_strata=3)
+    ]
+
+
+def _engine_trajectory(graph, labels, design, *, strata=None, allocation="proportional"):
+    """Per-round (estimate, cost) series of a sharded serial engine run."""
+    with ParallelSamplingExecutor(graph, workers=None, num_shards=2) as executor:
+        run = executor.run(
+            design, labels, seed=_SEED, strata=strata, allocation=allocation
+        )
+        trajectory = []
+        for _ in range(_ROUNDS):
+            run.step(_ROUND_SIZE)
+            estimate = run.estimate()
+            cost = run.cost_summary()
+            trajectory.append(
+                {
+                    "value": float(estimate.value),
+                    "std_error": float(estimate.std_error),
+                    "num_units": int(estimate.num_units),
+                    "num_triples": int(estimate.num_triples),
+                    "entities_identified": int(cost.entities_identified),
+                    "triples_annotated": int(cost.triples_annotated),
+                    "cost_seconds": float(cost.cost_seconds),
+                }
+            )
+        return trajectory
+
+
+@pytest.mark.parametrize("design", PARALLEL_DESIGNS)
+def test_engine_design_trajectory_is_pinned(labelled, golden, design):
+    data, labels = labelled
+    golden.check(
+        f"engine_{design}", _engine_trajectory(data.graph, labels, design)
+    )
+
+
+@pytest.mark.parametrize("allocation", ["proportional", "neyman"])
+def test_engine_stratified_trajectory_is_pinned(labelled, golden, allocation):
+    data, labels = labelled
+    golden.check(
+        f"engine_twcs_strat_{allocation}",
+        _engine_trajectory(
+            data.graph,
+            labels,
+            "twcs",
+            strata=_strata_rows(data.graph),
+            allocation=allocation,
+        ),
+    )
+
+
+@pytest.mark.parametrize(
+    "kind, cls",
+    [("rs", ReservoirIncrementalEvaluator), ("ss", StratifiedIncrementalEvaluator)],
+)
+def test_evolving_trajectory_is_pinned(golden, kind, cls):
+    data = make_nell_like(seed=0)
+    base = LabelledKG(data.graph.to_columnar(), data.oracle)
+    evaluator = cls(
+        base, config=EvaluationConfig(moe_target=0.06), seed=_SEED, surface="position"
+    )
+    evaluator.evaluate_base()
+    workload = UpdateWorkloadGenerator(base, seed=_SEED)
+    for batch, batch_oracle in workload.generate_sequence(2, 120, 0.8):
+        evaluator.apply_update(batch, batch_oracle)
+    trajectory = [
+        {
+            "batch_id": entry.batch_id,
+            "accuracy": float(entry.accuracy),
+            "margin_of_error": float(entry.report.margin_of_error),
+            "num_units": int(entry.report.num_units),
+            "triples_annotated": int(entry.report.num_triples_annotated),
+            "entities_identified": int(entry.report.num_entities_identified),
+            "cumulative_cost_seconds": float(entry.cumulative_cost_seconds),
+        }
+        for entry in evaluator.history
+    ]
+    trajectory.append({"true_accuracy": float(evaluator.current_true_accuracy())})
+    golden.check(f"evolving_{kind}", trajectory)

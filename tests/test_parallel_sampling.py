@@ -21,6 +21,7 @@ from repro.generators.workload import UpdateWorkloadGenerator
 from repro.sampling.parallel import PARALLEL_DESIGNS, ParallelSamplingExecutor
 from repro.sampling.segment import PositionSegment
 from repro.sampling.stratification import stratify_by_size
+from repro.stats.allocation import proportional_allocation
 
 _CONFIG = EvaluationConfig(moe_target=0.06)
 
@@ -101,6 +102,22 @@ class TestSerialEngine:
             assert srs.estimate().num_triples == data.graph.num_triples
             assert srs.estimate().value == pytest.approx(labels.mean())
 
+    def test_interleaved_executors_on_one_transport_are_rejected(self, labelled):
+        """A re-bound transport must refuse the stale executor, not mis-draw."""
+        from repro.generators.datasets import make_yago_like
+        from repro.sampling.parallel import SerialTransport
+
+        data, labels = labelled
+        other = make_yago_like(seed=0)
+        other_graph = other.graph.to_columnar()
+        transport = SerialTransport()
+        first = ParallelSamplingExecutor(data.graph, num_shards=2, transport=transport)
+        run = first.run("twcs", labels, seed=0)
+        run.step(10)  # healthy while solely bound
+        ParallelSamplingExecutor(other_graph, num_shards=2, transport=transport)
+        with pytest.raises(RuntimeError, match="re-bound"):
+            run.step(10)
+
     def test_segment_run_covers_only_the_segment(self, labelled):
         data, labels = labelled
         first_position = data.graph.num_triples
@@ -148,6 +165,98 @@ class TestSerialEngine:
             assert run.cost_summary().entities_identified == len(drawn_rows)
 
 
+class TestNeymanAllocation:
+    """allocation='neyman' routed through shard-merged per-stratum stats."""
+
+    @staticmethod
+    def _strata_rows(graph):
+        strata = stratify_by_size(graph, num_strata=3)
+        rows = [
+            np.fromiter(
+                (graph.entity_row(e) for e in stratum.entity_ids),
+                dtype=np.int64,
+                count=stratum.num_entities,
+            )
+            for stratum in strata
+        ]
+        return strata, rows
+
+    def test_requires_strata(self, labelled):
+        data, labels = labelled
+        with ParallelSamplingExecutor(data.graph, workers=None) as executor:
+            with pytest.raises(ValueError, match="neyman"):
+                executor.run("twcs", labels, seed=0, allocation="neyman")
+            with pytest.raises(ValueError, match="allocation"):
+                executor.run("twcs", labels, seed=0, allocation="optimal")
+
+    def test_allocation_decisions_match_design_rule(self, labelled):
+        """Same observed per-stratum stats → same split as StratifiedTWCSDesign.
+
+        The engine merges each stratum's *shard* accumulators before applying
+        the Neyman rule; feeding identical observations (scattered across a
+        stratum's shard tasks) must reproduce the in-process design's
+        allocation exactly, including the proportional fallback while any
+        stratum has fewer than two draws.
+        """
+        from repro.sampling.stratified import StratifiedTWCSDesign
+
+        data, labels = labelled
+        graph = data.graph
+        strata, rows = self._strata_rows(graph)
+        design = StratifiedTWCSDesign(
+            graph, strata, second_stage_size=5, seed=0, allocation="neyman"
+        )
+        with ParallelSamplingExecutor(graph, workers=None, num_shards=4) as executor:
+            run = executor.run(
+                "twcs", labels, seed=0, strata=rows, allocation="neyman"
+            )
+            observations = {
+                0: [0.2, 0.9, 0.5, 0.7],
+                1: [1.0, 0.0, 0.65],
+                2: [0.45, 0.55, 0.8, 0.3, 0.9],
+            }
+            # Fallback while stratum 2 has < 2 observations on both sides.
+            design._means[0].add(0.2)
+            task_of = {}
+            for task_id, stratum in enumerate(run._task_strata):
+                task_of.setdefault(stratum, []).append(task_id)
+            run._accumulators[task_of[0][0]].add(0.2)
+            assert run._stratum_allocation(30) == design._allocate(30)
+            # Full stats: scatter each stratum's values across its shard tasks.
+            for stratum, values in observations.items():
+                for index, value in enumerate(values):
+                    if index or stratum != 0:  # 0.2 already added above
+                        design._means[stratum].add(value)
+                        tasks = task_of[stratum]
+                        run._accumulators[tasks[index % len(tasks)]].add(value)
+            for count in (1, 7, 30, 100):
+                assert run._stratum_allocation(count) == design._allocate(count)
+            # And the rule is genuinely Neyman: differs from proportional here.
+            assert run._stratum_allocation(100) != proportional_allocation(
+                run._stratum_weights, 100
+            )
+
+    def test_neyman_run_is_deterministic_and_tracks_truth(self, labelled):
+        data, labels = labelled
+        _, rows = self._strata_rows(data.graph)
+        results = [
+            _run_result(
+                data.graph,
+                labels,
+                "twcs",
+                workers=None,
+                num_shards=3,
+                seed=41,
+                strata=rows,
+                allocation="neyman",
+            )
+            for _ in range(2)
+        ]
+        assert results[0][0] == results[1][0]
+        assert results[0][1] == results[1][1]
+        assert abs(results[0][0].value - labels.mean()) < 0.12
+
+
 @pytest.mark.parallel
 class TestPoolParity:
     """Process-pool execution is bit-identical to the serial reference."""
@@ -188,6 +297,32 @@ class TestPoolParity:
         assert serial[0] == pooled[0]
         assert serial[1] == pooled[1]
 
+    def test_neyman_pool_matches_serial(self, labelled):
+        data, labels = labelled
+        _, rows = TestNeymanAllocation._strata_rows(data.graph)
+        serial = _run_result(
+            data.graph,
+            labels,
+            "twcs",
+            workers=None,
+            num_shards=4,
+            seed=19,
+            strata=rows,
+            allocation="neyman",
+        )
+        pooled = _run_result(
+            data.graph,
+            labels,
+            "twcs",
+            workers=2,
+            num_shards=4,
+            seed=19,
+            strata=rows,
+            allocation="neyman",
+        )
+        assert serial[0] == pooled[0]
+        assert serial[1] == pooled[1]
+
     def test_graph_batch_sampler_executor_wiring(self, labelled):
         """sample_cluster_positions_batch(executor=) fans out deterministically."""
         data, labels = labelled
@@ -222,6 +357,39 @@ class TestPoolParity:
         for row, ref, fan in zip(rows, reference, fanned):
             np.testing.assert_array_equal(ref, fan)
             assert ref.shape[0] == min(5, int(sizes[row]))
+
+    def test_pool_transport_rebind_refreshes_worker_attachment(self, labelled):
+        """Reusing one ProcessPoolTransport across graphs must re-attach.
+
+        The pool workers captured the first graph's CSR at creation; binding
+        a second executor tears the stale pool down so the second run can
+        never draw from the wrong index.
+        """
+        from repro.generators.datasets import make_yago_like
+        from repro.sampling.parallel import ProcessPoolTransport
+
+        data, labels = labelled
+        other = make_yago_like(seed=0)
+        other_graph = other.graph.to_columnar()
+        other_labels = other.oracle.as_position_array(other_graph)
+        transport = ProcessPoolTransport(2)
+        try:
+            for graph, label_array in (
+                (data.graph, labels),
+                (other_graph, other_labels),
+            ):
+                executor = ParallelSamplingExecutor(
+                    graph, num_shards=3, transport=transport
+                )
+                run = executor.run("twcs", label_array, seed=14)
+                while run.num_units < 150:
+                    run.step(50)
+                reference = _run_result(
+                    graph, label_array, "twcs", workers=None, num_shards=3, seed=14, units=150
+                )
+                assert (run.estimate(), run.cost_summary()) == reference[:2]
+        finally:
+            transport.close()
 
     def test_snapshot_attached_pool_matches_inherited(self, labelled, tmp_path):
         data, labels = labelled
@@ -304,8 +472,8 @@ class TestCliWorkers:
             )
             assert code == 0
             outputs.append(
-                capsys.readouterr().out.replace("workers=0", "workers=N").replace(
-                    "workers=2", "workers=N"
+                capsys.readouterr().out.replace("transport=serial", "transport=X").replace(
+                    "transport=pool", "transport=X"
                 )
             )
         assert outputs[0] == outputs[1]
