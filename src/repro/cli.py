@@ -22,12 +22,15 @@ Five commands cover the common workflows:
   ``--snapshot`` persists (and on re-runs reopens) the base graph plus its
   labels, so the expensive build/labelling happens once;
 * ``worker`` — run a sampling worker node for the RPC shard transport:
-  listens on ``--listen HOST:PORT``, receives content-addressed CSR
-  snapshot shards into ``--base-dir`` and executes streamed shard tasks.
-  ``evaluate`` / ``monitor`` dispatch to such nodes with
-  ``--transport rpc --nodes host1:p1,host2:p2`` — trajectories are
-  bit-identical to ``--workers`` (pool) and ``--workers 0`` (serial) runs
-  with the same ``--shards``.
+  listens on ``--listen HOST:PORT`` (or dials into a running master with
+  ``--join HOST:PORT``), authenticates every connection against
+  ``--secret-file``, receives content-addressed CSR snapshot shards into
+  ``--base-dir`` and executes pipelined shard tasks.  ``evaluate`` /
+  ``monitor`` dispatch to such nodes with ``--transport rpc --nodes
+  host1:p1,host2:p2`` (plus ``--secret-file`` and ``--accept-joins`` for
+  authenticated/elastic clusters) — trajectories are bit-identical to
+  ``--workers`` (pool) and ``--workers 0`` (serial) runs with the same
+  ``--shards``.
 
 Examples
 --------
@@ -156,9 +159,25 @@ def _load_snapshot_dataset(path: str) -> LabelledKG:
 
 def _parse_nodes(args: argparse.Namespace) -> list[str]:
     nodes = [node.strip() for node in (args.nodes or "").split(",") if node.strip()]
-    if not nodes:
-        raise SystemExit("--transport rpc requires --nodes host:port[,host:port...]")
+    if not nodes and not getattr(args, "accept_joins", None):
+        raise SystemExit(
+            "--transport rpc requires --nodes host:port[,host:port...] "
+            "(or --accept-joins to wait for joining workers)"
+        )
     return nodes
+
+
+def _load_cli_secret(args: argparse.Namespace):
+    if not getattr(args, "secret_file", None):
+        return None
+    from repro.sampling.rpc import load_secret_file
+
+    try:
+        return load_secret_file(args.secret_file)
+    except OSError as exc:
+        raise SystemExit(f"cannot read --secret-file {args.secret_file}: {exc}") from exc
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def _build_transport(args: argparse.Namespace):
@@ -172,7 +191,15 @@ def _build_transport(args: argparse.Namespace):
     if args.transport == "rpc":
         from repro.sampling.rpc import SocketRPCTransport
 
-        return SocketRPCTransport(_parse_nodes(args))
+        transport = SocketRPCTransport(
+            _parse_nodes(args),
+            secret=_load_cli_secret(args),
+            window=args.rpc_window,
+            join_address=args.accept_joins,
+        )
+        if transport.join_address is not None:
+            print(f"accepting worker joins on {transport.join_address}", flush=True)
+        return transport
     from repro.sampling.parallel import (
         ParallelSamplingExecutor,
         ProcessPoolTransport,
@@ -419,7 +446,35 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     """``repro worker``: serve shard tasks for the RPC transport."""
-    from repro.sampling.rpc import parse_node_address, serve_worker
+    from repro.sampling.rpc import RPCError, join_master, parse_node_address, serve_worker
+
+    if bool(args.listen) == bool(args.join):
+        raise SystemExit("pass exactly one of --listen HOST:PORT or --join HOST:PORT")
+    secret = _load_cli_secret(args)
+
+    if args.join:
+        # Elastic membership: dial a running master and serve it over the
+        # connection we opened (works from behind NAT; no listening port).
+        print(f"worker joining master at {args.join}", flush=True)
+        print(f"snapshot cache     {args.base_dir}", flush=True)
+
+        def on_joined(host: str, port: int) -> None:
+            print(f"worker joined master at {host}:{port}", flush=True)
+
+        try:
+            join_master(
+                args.join,
+                args.base_dir,
+                secret=secret,
+                task_delay=args.task_delay,
+                on_joined=on_joined,
+            )
+        except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+            pass
+        except RPCError as exc:
+            print(f"join failed: {exc}", flush=True)
+            return 1
+        return 0
 
     host, port = parse_node_address(args.listen)
 
@@ -433,8 +488,10 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             host,
             port,
             args.base_dir,
+            secret=secret,
             on_ready=on_ready,
             max_connections=args.max_connections,
+            task_delay=args.task_delay,
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
@@ -495,6 +552,39 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
+def _add_rpc_options(parser: argparse.ArgumentParser) -> None:
+    """RPC transport options shared by ``evaluate`` and ``monitor``."""
+    parser.add_argument(
+        "--nodes",
+        default=None,
+        help="comma-separated worker node addresses (host:port) for "
+        "--transport rpc; start nodes with `repro worker --listen`",
+    )
+    parser.add_argument(
+        "--secret-file",
+        default=None,
+        dest="secret_file",
+        help="file holding the cluster's shared authentication secret for "
+        "--transport rpc; must match the workers' --secret-file",
+    )
+    parser.add_argument(
+        "--rpc-window",
+        type=int,
+        default=4,
+        dest="rpc_window",
+        help="maximum in-flight tasks per worker node for --transport rpc "
+        "(default 4); never affects the trajectory, only throughput",
+    )
+    parser.add_argument(
+        "--accept-joins",
+        default=None,
+        dest="accept_joins",
+        help="host:port to accept late-joining `repro worker --join` "
+        "registrations on for --transport rpc (port 0 picks one; printed "
+        "on startup); joiners receive work from the next round on",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -569,12 +659,7 @@ def build_parser() -> argparse.ArgumentParser:
         "nodes via --nodes); trajectories are bit-identical across transports "
         "for a fixed --shards",
     )
-    evaluate.add_argument(
-        "--nodes",
-        default=None,
-        help="comma-separated worker node addresses (host:port) for "
-        "--transport rpc; start nodes with `repro worker --listen`",
-    )
+    _add_rpc_options(evaluate)
     evaluate.add_argument(
         "--allocation",
         choices=("proportional", "neyman"),
@@ -673,11 +758,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution transport for the sharded draw loops (see `evaluate "
         "--transport`); requires --backend columnar with --evaluator rs or ss",
     )
-    monitor.add_argument(
-        "--nodes",
-        default=None,
-        help="comma-separated worker node addresses (host:port) for --transport rpc",
-    )
+    _add_rpc_options(monitor)
 
     worker = subparsers.add_parser(
         "worker",
@@ -685,9 +766,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     worker.add_argument(
         "--listen",
-        required=True,
+        default=None,
         help="address to listen on as host:port (port 0 picks a free port, "
-        "printed on startup)",
+        "printed on startup); mutually exclusive with --join",
+    )
+    worker.add_argument(
+        "--join",
+        default=None,
+        help="register with a running master's --accept-joins listener at "
+        "host:port and serve it over the dialed connection (late-joining "
+        "nodes receive work from the next round on); mutually exclusive "
+        "with --listen",
     )
     worker.add_argument(
         "--base-dir",
@@ -697,12 +786,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(persists across connections; an unchanged graph is received once)",
     )
     worker.add_argument(
+        "--secret-file",
+        default=None,
+        dest="secret_file",
+        help="file holding the cluster's shared authentication secret; every "
+        "connection must pass the mutual HMAC handshake before any task "
+        "bytes flow (omit for the empty secret — loopback testing only)",
+    )
+    worker.add_argument(
         "--max-connections",
         type=int,
         default=None,
         dest="max_connections",
         help="exit after serving this many master connections (default: serve "
         "forever)",
+    )
+    worker.add_argument(
+        "--task-delay",
+        type=float,
+        default=0.0,
+        dest="task_delay",
+        help="sleep this many seconds before executing each task (throttling/"
+        "fault-injection aid for the chaos suite; default 0)",
     )
 
     experiment = subparsers.add_parser(

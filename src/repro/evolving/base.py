@@ -108,10 +108,13 @@ class IncrementalEvaluator(ABC):
         :class:`~repro.sampling.parallel.ShardTransport` the sharded draw
         loops execute on — e.g. a
         :class:`~repro.sampling.rpc.SocketRPCTransport` over remote worker
-        nodes.  Mutually exclusive with ``workers``; for a fixed
-        ``num_shards`` every transport yields bit-identical estimate
-        trajectories (serial == pool == RPC).  The evaluator owns the
-        transport: :meth:`close` closes it.
+        nodes (with shared-secret auth via ``secret=``, task pipelining via
+        ``window=`` and late-joining workers via ``join_address=`` — none
+        of which perturb the trajectory).  Mutually exclusive with
+        ``workers``; for a fixed ``num_shards`` every transport yields
+        bit-identical estimate trajectories (serial == pool == RPC,
+        regardless of window size, node churn or work stealing).  The
+        evaluator owns the transport: :meth:`close` closes it.
     compact_threshold:
         When set and the evolving graph is delta-backed, re-freeze the tail
         into the base whenever it outgrows this fraction of the base

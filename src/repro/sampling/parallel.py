@@ -41,8 +41,18 @@ trajectory.  Three implementations exist:
 * :class:`ProcessPoolTransport` — fans tasks across a local fork/spawn
   process pool (the historical ``workers=`` behaviour).
 * :class:`~repro.sampling.rpc.SocketRPCTransport` — streams tasks to remote
-  worker nodes over a length-prefixed TCP protocol, shipping the CSR index
-  content-addressed exactly once per node (``repro worker --listen``).
+  worker nodes over a schema'd, CRC-framed binary protocol
+  (:mod:`repro.sampling.wire` — no pickle on the wire), with mutual
+  HMAC shared-secret authentication on connect, a per-node in-flight task
+  window (pipelining + work stealing from slow nodes), and elastic
+  membership (``repro worker --join`` registers with a running master);
+  the CSR index ships content-addressed exactly once per node
+  (``repro worker --listen``).
+
+Because a result is a pure function of ``(task, bound CSR index)``, a
+transport may execute a task *more than once* (drop reassignment, work
+stealing) — every copy yields the identical bytes, so exactly-once
+execution is not part of the contract; exactly-once *merging* is.
 
 Workers attach to the CSR index without copying: on ``fork`` platforms the
 arrays are inherited copy-on-write through a module registry; with a

@@ -1,0 +1,520 @@
+"""Schema'd binary wire codec for the RPC shard transport.
+
+The first RPC transport shipped pickled frames — fine on a trusted loopback,
+unacceptable on a real cluster where a stray or hostile peer could feed the
+deserializer arbitrary object graphs.  This module replaces pickle with a
+small, versioned, *closed* codec: every value on the wire is one of a fixed
+set of tagged types, decoded by explicit readers that validate lengths,
+dtypes and field types as they go.  Decoding never constructs anything
+outside this set, so a malformed or malicious frame can produce exactly one
+outcome: :class:`WireError`.
+
+Frame layout (everything big-endian)::
+
+    magic   2 bytes   b"RW"
+    version 1 byte    WIRE_VERSION
+    flags   1 byte    reserved, must be 0
+    length  8 bytes   payload byte count
+    crc32   4 bytes   zlib.crc32 of the payload
+    payload N bytes   one tagged value
+
+The CRC makes corruption detection deterministic: *any* byte flip in a frame
+— header or payload — fails the magic/version/length/CRC checks before a
+single value is decoded, which is what lets the fuzz suite assert
+``decode(mutate(encode(x)))`` always raises :class:`WireError`.
+
+Value encoding is one tag byte followed by a tag-specific body:
+
+====  =======================================================================
+tag   body
+====  =======================================================================
+``0`` ``None`` (empty body)
+``1`` ``True`` / ``2`` ``False``
+``3`` int64 (8 bytes, signed)
+``4`` big int: sign byte, u32 magnitude length, magnitude bytes
+``5`` float64 (8 bytes)
+``6`` str: u32 length, UTF-8 bytes
+``7`` bytes: u64 length, raw bytes
+``8`` list / ``9`` tuple: u32 count, then each element
+``10`` dict: u32 count, then (str key, value) pairs — keys must be ``str``
+``11`` ndarray: dtype str (u8 length), ndim (u8), shape (u64 each),
+       u64 byte length, raw C-order bytes.  Dtypes are restricted to
+       bool/int/uint/float kinds ≤ 8 bytes — never object arrays.
+``12`` :class:`numpy.random.SeedSequence`: entropy, spawn_key, pool_size,
+       n_children_spawned (each a tagged value)
+``13`` :class:`~repro.sampling.parallel.ShardTask` (8 tagged fields)
+``14`` :class:`~repro.sampling.parallel.ShardResult` (8 tagged fields)
+``15`` :class:`~repro.sampling.parallel.ShardSource` (6 tagged fields)
+====  =======================================================================
+
+Generator states (``Generator.bit_generator.state``) need no tag of their
+own: they are plain dicts of strs, ints (including the 128-bit PCG64 state
+words, carried by the big-int tag) and nested dicts, and round-trip through
+the container tags bit-exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.sampling.parallel import ShardResult, ShardSource, ShardTask
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAGIC",
+    "HEADER_SIZE",
+    "WireError",
+    "dumps",
+    "loads",
+    "encode_frame",
+    "decode_frame",
+    "parse_header",
+    "check_payload",
+]
+
+WIRE_VERSION = 1
+MAGIC = b"RW"
+_HEADER = struct.Struct(">2sBBQI")
+HEADER_SIZE = _HEADER.size
+
+_T_NONE = 0
+_T_TRUE = 1
+_T_FALSE = 2
+_T_INT = 3
+_T_BIGINT = 4
+_T_FLOAT = 5
+_T_STR = 6
+_T_BYTES = 7
+_T_LIST = 8
+_T_TUPLE = 9
+_T_DICT = 10
+_T_NDARRAY = 11
+_T_SEEDSEQ = 12
+_T_TASK = 13
+_T_RESULT = 14
+_T_SOURCE = 15
+
+_I64 = struct.Struct(">q")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+_F64 = struct.Struct(">d")
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+#: Nesting bound: real messages are ~4 levels deep; crafted frames don't get
+#: to wind the decoder's stack arbitrarily far.
+_MAX_DEPTH = 32
+_MAX_NDIM = 4
+_MAX_BIGINT_BYTES = 1 << 20
+#: Array dtype kinds allowed on the wire (never object/void/str kinds).
+_ARRAY_KINDS = frozenset("biuf")
+
+
+class WireError(RuntimeError):
+    """A frame or value failed to encode or decode under the wire schema."""
+
+
+# --------------------------------------------------------------------------- #
+# Encoding
+# --------------------------------------------------------------------------- #
+def _encode_int(value: int, out: bytearray) -> None:
+    if _I64_MIN <= value <= _I64_MAX:
+        out.append(_T_INT)
+        out += _I64.pack(value)
+        return
+    out.append(_T_BIGINT)
+    magnitude = abs(value)
+    body = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+    if len(body) > _MAX_BIGINT_BYTES:
+        raise WireError(f"integer of {len(body)} bytes exceeds the wire limit")
+    out.append(1 if value < 0 else 0)
+    out += _U32.pack(len(body))
+    out += body
+
+
+def _encode_str(value: str, out: bytearray) -> None:
+    data = value.encode("utf-8")
+    out.append(_T_STR)
+    out += _U32.pack(len(data))
+    out += data
+
+
+def _encode_array(array: np.ndarray, out: bytearray) -> None:
+    if array.dtype.kind not in _ARRAY_KINDS or array.dtype.itemsize > 8:
+        raise WireError(f"dtype {array.dtype} is not allowed on the wire")
+    if array.ndim > _MAX_NDIM:
+        raise WireError(f"{array.ndim}-dimensional arrays are not allowed on the wire")
+    array = np.ascontiguousarray(array)
+    dtype_str = array.dtype.str.encode("ascii")
+    data = array.tobytes()
+    out.append(_T_NDARRAY)
+    out.append(len(dtype_str))
+    out += dtype_str
+    out.append(array.ndim)
+    for dim in array.shape:
+        out += _U64.pack(dim)
+    out += _U64.pack(len(data))
+    out += data
+
+
+def _encode(value, out: bytearray, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise WireError("value nests deeper than the wire limit")
+    if value is None:
+        out.append(_T_NONE)
+    elif isinstance(value, (bool, np.bool_)):
+        out.append(_T_TRUE if value else _T_FALSE)
+    elif isinstance(value, (int, np.integer)):
+        _encode_int(int(value), out)
+    elif isinstance(value, (float, np.floating)):
+        out.append(_T_FLOAT)
+        out += _F64.pack(float(value))
+    elif isinstance(value, str):
+        _encode_str(value, out)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.append(_T_BYTES)
+        out += _U64.pack(len(data))
+        out += data
+    elif isinstance(value, np.ndarray):
+        _encode_array(value, out)
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST if isinstance(value, list) else _T_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode(item, out, depth + 1)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        out += _U32.pack(len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireError(f"dict keys on the wire must be str, got {type(key).__name__}")
+            data = key.encode("utf-8")
+            out += _U32.pack(len(data))
+            out += data
+            _encode(item, out, depth + 1)
+    elif isinstance(value, np.random.SeedSequence):
+        out.append(_T_SEEDSEQ)
+        _encode(value.entropy, out, depth + 1)
+        _encode(tuple(value.spawn_key), out, depth + 1)
+        _encode(int(value.pool_size), out, depth + 1)
+        _encode(int(value.n_children_spawned), out, depth + 1)
+    elif isinstance(value, ShardTask):
+        out.append(_T_TASK)
+        for field in (
+            value.index,
+            value.design,
+            value.source,
+            value.count,
+            value.cap,
+            value.rng_state,
+            value.perm_seed,
+            value.cursor,
+        ):
+            _encode(field, out, depth + 1)
+    elif isinstance(value, ShardResult):
+        out.append(_T_RESULT)
+        for field in (
+            value.index,
+            value.rows,
+            value.counts,
+            value.sizes,
+            value.positions,
+            value.rng_state,
+            value.cursor,
+            value.elapsed,
+        ):
+            _encode(field, out, depth + 1)
+    elif isinstance(value, ShardSource):
+        out.append(_T_SOURCE)
+        for field in (value.kind, value.lo, value.hi, value.rows, value.offsets, value.positions):
+            _encode(field, out, depth + 1)
+    else:
+        raise WireError(f"type {type(value).__name__} is not allowed on the wire")
+
+
+def dumps(value) -> bytes:
+    """Encode one value to its tagged byte form (payload only, no frame)."""
+    out = bytearray()
+    _encode(value, out, 0)
+    return bytes(out)
+
+
+# --------------------------------------------------------------------------- #
+# Decoding
+# --------------------------------------------------------------------------- #
+class _Reader:
+    """Bounds-checked cursor over a payload buffer."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    def take(self, count: int) -> bytes:
+        if count < 0 or count > self.remaining:
+            raise WireError(f"frame truncated: wanted {count} bytes, {self.remaining} left")
+        start = self.pos
+        self.pos = start + count
+        return self.data[start : self.pos]
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+
+def _decode_str(reader: _Reader) -> str:
+    data = reader.take(reader.u32())
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireError(f"invalid UTF-8 on the wire: {exc}") from None
+
+
+def _decode_array(reader: _Reader) -> np.ndarray:
+    dtype_str = reader.take(reader.u8())
+    try:
+        dtype = np.dtype(dtype_str.decode("ascii"))
+    except (TypeError, ValueError, UnicodeDecodeError):
+        raise WireError(f"invalid dtype {dtype_str!r} on the wire") from None
+    if dtype.kind not in _ARRAY_KINDS or dtype.itemsize > 8:
+        raise WireError(f"dtype {dtype} is not allowed on the wire")
+    ndim = reader.u8()
+    if ndim > _MAX_NDIM:
+        raise WireError(f"{ndim}-dimensional arrays are not allowed on the wire")
+    shape = tuple(reader.u64() for _ in range(ndim))
+    count = 1
+    for dim in shape:
+        count *= dim
+    length = reader.u64()
+    if length != count * dtype.itemsize:
+        raise WireError(f"array byte length {length} does not match shape {shape} of {dtype}")
+    data = reader.take(length)
+    return np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+
+
+def _expect(value, kinds, what: str):
+    if kinds is None:
+        if value is not None:
+            raise WireError(f"{what} must be None, got {type(value).__name__}")
+    elif not isinstance(value, kinds) or isinstance(value, bool) and kinds is int:
+        raise WireError(f"bad field type for {what}: {type(value).__name__}")
+    return value
+
+
+def _decode_seedseq(reader: _Reader, depth: int) -> np.random.SeedSequence:
+    entropy = _decode(reader, depth)
+    spawn_key = _decode(reader, depth)
+    pool_size = _decode(reader, depth)
+    n_children = _decode(reader, depth)
+    if entropy is not None and not isinstance(entropy, int):
+        if not isinstance(entropy, (list, tuple)) or not all(
+            isinstance(item, int) for item in entropy
+        ):
+            raise WireError("SeedSequence entropy must be None, int or a sequence of ints")
+    if not isinstance(spawn_key, tuple) or not all(isinstance(item, int) for item in spawn_key):
+        raise WireError("SeedSequence spawn_key must be a tuple of ints")
+    _expect(pool_size, int, "SeedSequence pool_size")
+    _expect(n_children, int, "SeedSequence n_children_spawned")
+    try:
+        return np.random.SeedSequence(
+            entropy=entropy,
+            spawn_key=spawn_key,
+            pool_size=pool_size,
+            n_children_spawned=n_children,
+        )
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"invalid SeedSequence on the wire: {exc}") from None
+
+
+def _decode_source(reader: _Reader, depth: int) -> ShardSource:
+    kind = _expect(_decode(reader, depth), str, "ShardSource.kind")
+    lo = _expect(_decode(reader, depth), int, "ShardSource.lo")
+    hi = _expect(_decode(reader, depth), int, "ShardSource.hi")
+    rows = _decode(reader, depth)
+    offsets = _decode(reader, depth)
+    positions = _decode(reader, depth)
+    for name, value in (("rows", rows), ("offsets", offsets), ("positions", positions)):
+        if value is not None and not isinstance(value, np.ndarray):
+            raise WireError(f"ShardSource.{name} must be an array or None")
+    return ShardSource(kind=kind, lo=lo, hi=hi, rows=rows, offsets=offsets, positions=positions)
+
+
+def _decode_rng_state(value, what: str):
+    if value is not None and not isinstance(value, dict):
+        raise WireError(f"{what} must be a dict or None")
+    return value
+
+
+def _decode_task(reader: _Reader, depth: int) -> ShardTask:
+    index = _expect(_decode(reader, depth), int, "ShardTask.index")
+    design = _expect(_decode(reader, depth), str, "ShardTask.design")
+    source = _decode(reader, depth)
+    if not isinstance(source, ShardSource):
+        raise WireError("ShardTask.source must be a ShardSource")
+    count = _expect(_decode(reader, depth), int, "ShardTask.count")
+    cap = _decode(reader, depth)
+    if cap is not None and not isinstance(cap, int):
+        raise WireError("ShardTask.cap must be an int or None")
+    rng_state = _decode_rng_state(_decode(reader, depth), "ShardTask.rng_state")
+    perm_seed = _decode(reader, depth)
+    if perm_seed is not None and not isinstance(perm_seed, np.random.SeedSequence):
+        raise WireError("ShardTask.perm_seed must be a SeedSequence or None")
+    cursor = _expect(_decode(reader, depth), int, "ShardTask.cursor")
+    return ShardTask(
+        index=index,
+        design=design,
+        source=source,
+        count=count,
+        cap=cap,
+        rng_state=rng_state,
+        perm_seed=perm_seed,
+        cursor=cursor,
+    )
+
+
+def _decode_result(reader: _Reader, depth: int) -> ShardResult:
+    index = _expect(_decode(reader, depth), int, "ShardResult.index")
+    arrays = []
+    for name in ("rows", "counts", "sizes", "positions"):
+        value = _decode(reader, depth)
+        if not isinstance(value, np.ndarray):
+            raise WireError(f"ShardResult.{name} must be an array")
+        arrays.append(value)
+    rng_state = _decode_rng_state(_decode(reader, depth), "ShardResult.rng_state")
+    cursor = _expect(_decode(reader, depth), int, "ShardResult.cursor")
+    elapsed = _decode(reader, depth)
+    if isinstance(elapsed, bool) or not isinstance(elapsed, (int, float)):
+        raise WireError("ShardResult.elapsed must be a number")
+    return ShardResult(
+        index=index,
+        rows=arrays[0],
+        counts=arrays[1],
+        sizes=arrays[2],
+        positions=arrays[3],
+        rng_state=rng_state,
+        cursor=cursor,
+        elapsed=float(elapsed),
+    )
+
+
+def _decode(reader: _Reader, depth: int):
+    if depth > _MAX_DEPTH:
+        raise WireError("frame nests deeper than the wire limit")
+    tag = reader.u8()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        return _I64.unpack(reader.take(8))[0]
+    if tag == _T_BIGINT:
+        sign = reader.u8()
+        if sign not in (0, 1):
+            raise WireError(f"invalid big-int sign byte {sign}")
+        length = reader.u32()
+        if length > _MAX_BIGINT_BYTES:
+            raise WireError(f"big int of {length} bytes exceeds the wire limit")
+        magnitude = int.from_bytes(reader.take(length), "big")
+        return -magnitude if sign else magnitude
+    if tag == _T_FLOAT:
+        return _F64.unpack(reader.take(8))[0]
+    if tag == _T_STR:
+        return _decode_str(reader)
+    if tag == _T_BYTES:
+        return reader.take(reader.u64())
+    if tag in (_T_LIST, _T_TUPLE):
+        count = reader.u32()
+        if count > reader.remaining:
+            raise WireError(f"container of {count} items exceeds the frame")
+        items = [_decode(reader, depth + 1) for _ in range(count)]
+        return items if tag == _T_LIST else tuple(items)
+    if tag == _T_DICT:
+        count = reader.u32()
+        if count > reader.remaining:
+            raise WireError(f"dict of {count} items exceeds the frame")
+        out = {}
+        for _ in range(count):
+            key = reader.take(reader.u32())
+            try:
+                key = key.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise WireError(f"invalid UTF-8 dict key: {exc}") from None
+            out[key] = _decode(reader, depth + 1)
+        return out
+    if tag == _T_NDARRAY:
+        return _decode_array(reader)
+    if tag == _T_SEEDSEQ:
+        return _decode_seedseq(reader, depth + 1)
+    if tag == _T_TASK:
+        return _decode_task(reader, depth + 1)
+    if tag == _T_RESULT:
+        return _decode_result(reader, depth + 1)
+    if tag == _T_SOURCE:
+        return _decode_source(reader, depth + 1)
+    raise WireError(f"unknown wire tag {tag}")
+
+
+def loads(data: bytes):
+    """Decode one tagged value; raises :class:`WireError` on any malformation."""
+    reader = _Reader(bytes(data))
+    value = _decode(reader, 0)
+    if reader.remaining:
+        raise WireError(f"{reader.remaining} trailing bytes after the decoded value")
+    return value
+
+
+# --------------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------------- #
+def encode_frame(value) -> bytes:
+    """Encode one value as a complete frame (header + CRC + payload)."""
+    payload = dumps(value)
+    return _HEADER.pack(MAGIC, WIRE_VERSION, 0, len(payload), zlib.crc32(payload)) + payload
+
+
+def parse_header(header: bytes) -> tuple[int, int]:
+    """Validate a frame header; return ``(payload_length, crc32)``."""
+    if len(header) != HEADER_SIZE:
+        raise WireError(f"frame header is {len(header)} bytes, expected {HEADER_SIZE}")
+    magic, version, flags, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {version}, this side speaks {WIRE_VERSION}")
+    if flags != 0:
+        raise WireError(f"unsupported frame flags {flags:#x}")
+    return length, crc
+
+
+def check_payload(payload: bytes, crc: int):
+    """CRC-check a payload then decode it."""
+    if zlib.crc32(payload) != crc:
+        raise WireError("frame payload failed its CRC check")
+    return loads(payload)
+
+
+def decode_frame(data: bytes):
+    """Inverse of :func:`encode_frame` for one complete frame."""
+    if len(data) < HEADER_SIZE:
+        raise WireError(f"truncated frame: {len(data)} bytes")
+    length, crc = parse_header(data[:HEADER_SIZE])
+    payload = data[HEADER_SIZE:]
+    if len(payload) != length:
+        raise WireError(f"frame length mismatch: header {length}, payload {len(payload)}")
+    return check_payload(payload, crc)

@@ -112,8 +112,34 @@ class SnapshotCache:
             if entry.is_dir() and not entry.name.startswith(".")
         )
 
-    def store(self, digest: str, arrays: dict[str, bytes]) -> Path:
-        """Materialise a received snapshot package atomically; return its path."""
+    def store(self, digest: str, arrays: dict[str, bytes], *, verify: bool = False) -> Path:
+        """Materialise a received snapshot package atomically; return its path.
+
+        With ``verify=True`` the packaged CSR columns are unpacked and their
+        recomputed :func:`csr_digest` compared against the claimed digest
+        before anything touches the cache — a corrupted or forged package
+        (bit rot in transit, a peer lying about content) is rejected with
+        :class:`ValueError` instead of poisoning the content address.
+        """
+        if not isinstance(digest, str) or not digest or os.sep in digest or digest.startswith("."):
+            raise ValueError(f"unsafe snapshot digest {digest!r}")
+        if verify:
+            missing = [name for name in CSR_ARRAY_NAMES if name not in arrays]
+            if missing:
+                raise ValueError(f"snapshot package is missing arrays {missing}")
+            try:
+                offsets = unpack_array(arrays["cluster_offsets"])
+                positions = unpack_array(arrays["cluster_positions"])
+            except Exception as exc:
+                raise ValueError(
+                    f"snapshot package for {digest[:16]} is unreadable: {exc}"
+                ) from exc
+            actual = csr_digest(offsets, positions)
+            if actual != digest:
+                raise ValueError(
+                    f"snapshot package digest mismatch: claimed {digest[:16]}…, "
+                    f"content hashes to {actual[:16]}…"
+                )
         target = self.path(digest)
         if target.is_dir():
             return target

@@ -33,6 +33,57 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evaluate", "--design", "magic"])
 
+    def test_evaluate_rpc_hardening_flags(self):
+        args = build_parser().parse_args(
+            [
+                "evaluate",
+                "--transport",
+                "rpc",
+                "--nodes",
+                "h1:1,h2:2",
+                "--secret-file",
+                "cluster.secret",
+                "--rpc-window",
+                "8",
+                "--accept-joins",
+                "127.0.0.1:0",
+            ]
+        )
+        assert args.secret_file == "cluster.secret"
+        assert args.rpc_window == 8
+        assert args.accept_joins == "127.0.0.1:0"
+
+    def test_monitor_shares_the_rpc_hardening_flags(self):
+        args = build_parser().parse_args(["monitor", "--transport", "rpc", "--nodes", "h:1"])
+        assert args.secret_file is None
+        assert args.rpc_window == 4
+        assert args.accept_joins is None
+
+    def test_worker_join_mode_flags(self):
+        args = build_parser().parse_args(
+            [
+                "worker",
+                "--join",
+                "master:7000",
+                "--base-dir",
+                "/tmp/cache",
+                "--secret-file",
+                "s",
+                "--task-delay",
+                "0.25",
+            ]
+        )
+        assert args.join == "master:7000"
+        assert args.listen is None
+        assert args.secret_file == "s"
+        assert args.task_delay == 0.25
+
+    def test_worker_requires_exactly_one_of_listen_and_join(self):
+        with pytest.raises(SystemExit):
+            main(["worker", "--base-dir", "/tmp/cache"])
+        with pytest.raises(SystemExit):
+            main(["worker", "--listen", "a:1", "--join", "b:2", "--base-dir", "/tmp/cache"])
+
 
 class TestCommands:
     def test_datasets_command(self, capsys):

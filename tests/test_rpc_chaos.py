@@ -1,0 +1,278 @@
+"""Fault-injection suite for the RPC shard transport.
+
+Every scenario wedges a fault into a real master ↔ ``repro worker``
+exchange — truncated frames, delayed and duplicated responses, corrupted
+task bytes, mid-task SIGKILL, wrong-secret connects — and asserts the
+transport's only two permitted outcomes:
+
+* the run **replays bit-identically** against the pinned golden twcs
+  trajectory (survivors re-execute from the tasks' recorded RNG states), or
+* a **typed error** (:class:`RPCError` / :class:`RPCAuthError`) surfaces.
+
+Never a hang (hard SIGALRM ``timeout`` markers), never a corrupt merge,
+never arbitrary code execution from wire bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+from rpc_chaos import ChaosProxy, WorkerProcess
+
+from repro.generators.datasets import LabelledKG, make_nell_like
+from repro.sampling.parallel import ParallelSamplingExecutor
+from repro.sampling.rpc import RPCAuthError, RPCError, SocketRPCTransport
+
+pytestmark = [pytest.mark.rpc, pytest.mark.chaos]
+
+
+@pytest.fixture(scope="module")
+def labelled():
+    data = make_nell_like(seed=0)
+    graph = data.graph.to_columnar()
+    return LabelledKG(graph, data.oracle), data.oracle.as_position_array(graph)
+
+
+def _twcs_trajectory(graph, labels, transport):
+    """The exact golden-pinned twcs run (seed 2026, 2 shards, 4×40 units)."""
+    with ParallelSamplingExecutor(graph, num_shards=2, transport=transport) as executor:
+        run = executor.run("twcs", labels, seed=2026)
+        trajectory = []
+        for _ in range(4):
+            run.step(40)
+            estimate = run.estimate()
+            cost = run.cost_summary()
+            trajectory.append(
+                {
+                    "value": float(estimate.value),
+                    "std_error": float(estimate.std_error),
+                    "num_units": int(estimate.num_units),
+                    "num_triples": int(estimate.num_triples),
+                    "entities_identified": int(cost.entities_identified),
+                    "triples_annotated": int(cost.triples_annotated),
+                    "cost_seconds": float(cost.cost_seconds),
+                }
+            )
+        stats = transport.stats()
+    return trajectory, stats
+
+
+@pytest.mark.timeout(180)
+def test_truncated_result_frame_reassigns_and_replays_golden(labelled, tmp_path, golden):
+    """A node crashing mid-reply-frame is dropped; the golden replays exactly."""
+    data, labels = labelled
+    healthy = WorkerProcess(tmp_path / "trunc-healthy")
+    victim = WorkerProcess(tmp_path / "trunc-victim")
+    proxy = ChaosProxy(victim.address, truncate_result_at=1)
+    try:
+        transport = SocketRPCTransport([healthy.address, proxy.address])
+        trajectory, stats = _twcs_trajectory(data.graph, labels, transport)
+        golden.check("engine_twcs", trajectory)
+        assert stats["live_nodes"] == 1
+        dead = next(node for node in stats["nodes"] if node["dead"])
+        assert dead["address"] == proxy.address
+    finally:
+        proxy.close()
+        healthy.stop()
+        victim.stop()
+
+
+@pytest.mark.timeout(120)
+def test_truncated_frame_with_no_survivor_raises_typed_error(labelled, tmp_path):
+    data, labels = labelled
+    victim = WorkerProcess(tmp_path / "trunc-only")
+    proxy = ChaosProxy(victim.address, truncate_result_at=1)
+    try:
+        transport = SocketRPCTransport([proxy.address])
+        with pytest.raises(RPCError):
+            _twcs_trajectory(data.graph, labels, transport)
+    finally:
+        proxy.close()
+        victim.stop()
+
+
+@pytest.mark.timeout(180)
+def test_delayed_replies_stay_bit_identical(labelled, tmp_path, golden):
+    """A deterministically slow node changes nothing but wall-clock time."""
+    data, labels = labelled
+    fast = WorkerProcess(tmp_path / "delay-fast")
+    slow = WorkerProcess(tmp_path / "delay-slow")
+    proxy = ChaosProxy(slow.address, delay_results=0.05)
+    try:
+        transport = SocketRPCTransport([fast.address, proxy.address], window=4)
+        trajectory, stats = _twcs_trajectory(data.graph, labels, transport)
+        golden.check("engine_twcs", trajectory)
+        assert stats["live_nodes"] == 2
+    finally:
+        proxy.close()
+        fast.stop()
+        slow.stop()
+
+
+@pytest.mark.timeout(180)
+def test_duplicated_result_frame_fails_closed_and_replays_golden(labelled, tmp_path, golden):
+    """A replayed/duplicated reply desyncs that node only; the run survives."""
+    data, labels = labelled
+    healthy = WorkerProcess(tmp_path / "dup-healthy")
+    victim = WorkerProcess(tmp_path / "dup-victim")
+    proxy = ChaosProxy(victim.address, duplicate_result_at=1)
+    try:
+        transport = SocketRPCTransport([healthy.address, proxy.address])
+        trajectory, stats = _twcs_trajectory(data.graph, labels, transport)
+        golden.check("engine_twcs", trajectory)
+        # The healthy node must have survived whatever the duplicate did.
+        healthy_stats = next(n for n in stats["nodes"] if n["address"] == healthy.address)
+        assert not healthy_stats["dead"]
+    finally:
+        proxy.close()
+        healthy.stop()
+        victim.stop()
+
+
+@pytest.mark.timeout(180)
+def test_corrupted_task_frame_is_caught_by_crc_and_replayed(labelled, tmp_path, golden):
+    """A flipped wire byte dies on the codec CRC, never inside the worker."""
+    data, labels = labelled
+    healthy = WorkerProcess(tmp_path / "crc-healthy")
+    victim = WorkerProcess(tmp_path / "crc-victim")
+    proxy = ChaosProxy(victim.address, corrupt_task_at=1)
+    try:
+        transport = SocketRPCTransport([healthy.address, proxy.address])
+        trajectory, stats = _twcs_trajectory(data.graph, labels, transport)
+        golden.check("engine_twcs", trajectory)
+        assert stats["live_nodes"] >= 1
+        # The worker itself survived the corrupt frame (connection-level drop).
+        assert victim.proc.poll() is None
+    finally:
+        proxy.close()
+        healthy.stop()
+        victim.stop()
+
+
+@pytest.mark.timeout(180)
+def test_sigkill_mid_task_replays_golden(labelled, tmp_path, golden):
+    """SIGKILL while a task is executing: survivors re-execute it identically."""
+    data, labels = labelled
+    survivor = WorkerProcess(tmp_path / "kill-survivor")
+    victim = WorkerProcess(tmp_path / "kill-victim", task_delay=0.25)
+    timer = threading.Timer(0.3, victim.kill)
+    try:
+        transport = SocketRPCTransport([survivor.address, victim.address])
+        timer.start()
+        trajectory, stats = _twcs_trajectory(data.graph, labels, transport)
+        golden.check("engine_twcs", trajectory)
+        assert stats["live_nodes"] >= 1
+        survivor_stats = next(n for n in stats["nodes"] if n["address"] == survivor.address)
+        assert not survivor_stats["dead"]
+    finally:
+        timer.cancel()
+        survivor.stop()
+        victim.stop()
+
+
+@pytest.mark.timeout(120)
+@pytest.mark.parametrize(
+    "worker_secret, master_secret",
+    [("alpha", "beta"), ("alpha", None), (None, "beta")],
+)
+def test_wrong_secret_is_rejected_before_any_task_bytes(
+    labelled, tmp_path, worker_secret, master_secret
+):
+    """Auth mismatch (either direction) is a typed error with zero work done."""
+    data, labels = labelled
+    worker = WorkerProcess(tmp_path / "auth-victim", secret=worker_secret)
+    try:
+        transport = SocketRPCTransport([worker.address], secret=master_secret)
+        with pytest.raises(RPCAuthError):
+            _twcs_trajectory(data.graph, labels, transport)
+        stats = transport.stats()
+        assert stats["nodes"][0]["auth_failed"]
+        assert stats["nodes"][0]["tasks_executed"] == 0
+        assert stats["snapshots_shipped"] == 0
+        # Nothing reached the worker's content-addressed cache: no task
+        # bytes, no snapshot bytes, before authentication.
+        digests = [d for d in os.listdir(worker.cache_dir) if not d.startswith(".")]
+        assert digests == []
+        assert worker.proc.poll() is None
+    finally:
+        worker.stop()
+
+
+@pytest.mark.timeout(120)
+def test_join_listener_is_not_a_signing_oracle_for_worker_auth(tmp_path):
+    """Relay-attack regression: a tag minted by the master's ``--accept-joins``
+    listener (role ``join-master``) must never authenticate anyone to a
+    listening worker (role ``listen-master``) — the handshake tags are
+    domain-separated per direction and bind both nonces."""
+    import socket as socket_module
+
+    from repro.sampling.rpc import (
+        PROTOCOL_VERSION,
+        parse_node_address,
+        recv_message,
+        send_message,
+    )
+
+    worker = WorkerProcess(tmp_path / "oracle-worker", secret="alpha")
+    transport = SocketRPCTransport(
+        [], secret="alpha", join_address="127.0.0.1:0", connect_timeout=2.0
+    )
+    try:
+        # Step 1: open a connection to the worker and capture its challenge
+        # nonce without answering yet.
+        host, port = worker.address.rsplit(":", 1)
+        victim = socket_module.create_connection((host, int(port)), timeout=10)
+        victim.settimeout(10)
+        challenge = recv_message(victim)
+        assert challenge["op"] == "challenge"
+        # Step 2: replay that nonce into the master's join listener and
+        # harvest the authenticated welcome it sends back *before* it could
+        # verify us.
+        oracle = socket_module.create_connection(
+            parse_node_address(transport.join_address), timeout=10
+        )
+        oracle.settimeout(10)
+        send_message(
+            oracle, {"op": "join", "version": PROTOCOL_VERSION, "nonce": challenge["nonce"]}
+        )
+        transport._accept_joins()  # master processes the queued join, sends welcome
+        welcome = recv_message(oracle)
+        assert welcome is not None and welcome["op"] == "welcome"
+        # Step 3: relay the harvested tag to the worker as if it were a
+        # master hello.  Domain separation must make the worker reject it.
+        send_message(
+            victim,
+            {
+                "op": "hello",
+                "version": PROTOCOL_VERSION,
+                "auth": welcome["auth"],
+                "nonce": welcome["nonce"],
+            },
+        )
+        reply = recv_message(victim)
+        assert reply is None or reply.get("op") == "auth_error"
+        assert worker.proc.poll() is None
+    finally:
+        transport.close()
+        worker.stop()
+
+
+@pytest.mark.timeout(180)
+def test_matching_secret_serves_the_golden_trajectory(labelled, tmp_path, golden):
+    """The positive auth path: same secret on both sides, bit-identical run."""
+    data, labels = labelled
+    workers = [
+        WorkerProcess(tmp_path / f"auth-ok-{index}", secret="s3cr3t") for index in range(2)
+    ]
+    try:
+        transport = SocketRPCTransport(
+            [worker.address for worker in workers], secret="s3cr3t"
+        )
+        trajectory, stats = _twcs_trajectory(data.graph, labels, transport)
+        golden.check("engine_twcs", trajectory)
+        assert stats["live_nodes"] == 2
+    finally:
+        for worker in workers:
+            worker.stop()

@@ -2,26 +2,27 @@
 
 Every test here spins actual ``repro worker`` subprocesses on loopback
 sockets with tmpdir snapshot caches and checks the transport contract end
-to end: for any shard count K ∈ {1, 2, 4, 7} and 1–3 localhost nodes, a
-:class:`SocketRPCTransport` run is **bit-identical** to the
-:class:`SerialTransport` and :class:`ProcessPoolTransport` executions of
-the same plan, on both storage backends — including when a node is
-SIGKILLed mid-run and its tasks are reassigned, and including the pinned
-golden trajectory.  Tests carry the ``rpc`` marker (dedicated CI leg) and a
-hard ``timeout`` so a protocol hang fails instead of wedging the run.
+to end: for any shard count K ∈ {1, 2, 4, 7}, 1–3 localhost nodes and any
+pipelining window, a :class:`SocketRPCTransport` run is **bit-identical**
+to the :class:`SerialTransport` and :class:`ProcessPoolTransport`
+executions of the same plan, on both storage backends — including when a
+node is SIGKILLed mid-run and its tasks are reassigned, when an idle node
+steals from a deliberately slowed one, when a worker joins mid-run through
+the registration listener, and including the pinned golden trajectory.
+Tests carry the ``rpc`` marker (dedicated CI leg) and a hard ``timeout`` so
+a protocol hang fails instead of wedging the run.
 """
 
 from __future__ import annotations
 
 import os
-import subprocess
-import sys
-from pathlib import Path
+import time
 
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
+from rpc_chaos import WorkerProcess
 
 from repro.cli import main as cli_main
 from repro.core.config import EvaluationConfig
@@ -35,52 +36,8 @@ from repro.sampling.stratification import stratify_by_size
 
 pytestmark = pytest.mark.rpc
 
-_SRC = Path(__file__).resolve().parents[1] / "src"
 _SHARD_COUNTS = (1, 2, 4, 7)
 _CONFIG = EvaluationConfig(moe_target=0.06)
-
-
-class WorkerProcess:
-    """One spawned ``repro worker`` subprocess and its bound address."""
-
-    def __init__(self, cache_dir: Path) -> None:
-        env = dict(os.environ)
-        env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
-        self.cache_dir = cache_dir
-        self.proc = subprocess.Popen(
-            [
-                sys.executable,
-                "-m",
-                "repro",
-                "worker",
-                "--listen",
-                "127.0.0.1:0",
-                "--base-dir",
-                str(cache_dir),
-            ],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            env=env,
-        )
-        assert self.proc.stdout is not None
-        line = self.proc.stdout.readline()
-        if "listening on" not in line:
-            stderr = self.proc.stderr.read() if self.proc.stderr else ""
-            raise RuntimeError(f"worker failed to start: {line!r}\n{stderr}")
-        self.address = line.strip().rsplit(" ", 1)[-1]
-
-    def kill(self) -> None:
-        self.proc.kill()
-        self.proc.wait(timeout=10)
-
-    def stop(self) -> None:
-        if self.proc.poll() is None:
-            self.proc.terminate()
-            try:
-                self.proc.wait(timeout=10)
-            except subprocess.TimeoutExpired:  # pragma: no cover - stubborn worker
-                self.kill()
 
 
 @pytest.fixture(scope="module")
@@ -406,6 +363,160 @@ def test_worker_survives_a_master_that_vanishes_mid_exchange(labelled, tmp_path)
         assert rpc == serial
     finally:
         worker.stop()
+
+
+@pytest.mark.timeout(300)
+def test_pipelined_windows_match_serial_under_skewed_node_delays(labelled, tmp_path):
+    """Windows 1/2/8 with one deliberately slow node: bit-identical on both
+    backends.  Pipelining and work stealing change *where and when* tasks
+    run, never what they draw."""
+    data, labels = labelled
+    memory = make_nell_like(seed=0)
+    memory_labels = memory.oracle.as_position_array(memory.graph)
+    fast = WorkerProcess(tmp_path / "win-fast")
+    slow = WorkerProcess(tmp_path / "win-slow", task_delay=0.02)
+    try:
+        serial = _reference_result(
+            data.graph, labels, "twcs", workers=None, num_shards=7, seed=29, units=100
+        )
+        for window in (1, 2, 8):
+            rpc_columnar = _rpc_result(
+                data.graph,
+                labels,
+                "twcs",
+                nodes=[fast, slow],
+                num_shards=7,
+                seed=29,
+                units=100,
+                transport=SocketRPCTransport([fast.address, slow.address], window=window),
+            )
+            assert rpc_columnar == serial, window
+            rpc_memory = _rpc_result(
+                memory.graph,
+                memory_labels,
+                "twcs",
+                nodes=[fast, slow],
+                num_shards=7,
+                seed=29,
+                units=100,
+                transport=SocketRPCTransport([fast.address, slow.address], window=window),
+            )
+            assert rpc_memory == serial, window
+    finally:
+        fast.stop()
+        slow.stop()
+
+
+@pytest.mark.timeout(180)
+def test_idle_node_steals_from_a_slow_one_without_perturbing_the_run(labelled, tmp_path):
+    """A node stuck behind a large per-task delay gets its window drained by
+    the idle node; both stay alive and the trajectory is unchanged."""
+    data, labels = labelled
+    slow = WorkerProcess(tmp_path / "steal-slow", task_delay=0.4)
+    fast = WorkerProcess(tmp_path / "steal-fast")
+    try:
+        with ParallelSamplingExecutor(data.graph, workers=None, num_shards=4) as serial_ex:
+            serial_run = serial_ex.run("twcs", labels, seed=41)
+            serial_run.step(40)
+            serial_estimate = serial_run.estimate()
+            serial_cost = serial_run.cost_summary()
+        transport = SocketRPCTransport([slow.address, fast.address], window=4)
+        with ParallelSamplingExecutor(
+            data.graph, num_shards=4, transport=transport
+        ) as executor:
+            run = executor.run("twcs", labels, seed=41)
+            run.step(40)
+            assert run.estimate() == serial_estimate
+            assert run.cost_summary() == serial_cost
+            stats = transport.stats()
+            assert stats["tasks_stolen"] >= 1
+            assert stats["live_nodes"] == 2
+    finally:
+        slow.stop()
+        fast.stop()
+
+
+@pytest.mark.timeout(300)
+def test_late_joining_worker_registers_and_receives_work(labelled, tmp_path):
+    """Elastic membership: a `repro worker --join` node registering after a
+    completed round is attached (content-addressed CSR catch-up) and handed
+    work, with the final trajectory bit-identical to the serial reference —
+    on both storage backends, with 3 loopback workers in play."""
+    data, labels = labelled
+    memory = make_nell_like(seed=0)
+    memory_labels = memory.oracle.as_position_array(memory.graph)
+    for graph, label_array, tag in (
+        (data.graph, labels, "columnar"),
+        (memory.graph, memory_labels, "memory"),
+    ):
+        with ParallelSamplingExecutor(graph, workers=None, num_shards=4) as serial_ex:
+            serial_run = serial_ex.run("twcs", label_array, seed=67)
+            for _ in range(6):
+                serial_run.step(30)
+            serial_estimate = serial_run.estimate()
+            serial_cost = serial_run.cost_summary()
+
+        initial = [
+            WorkerProcess(tmp_path / f"join-init-{tag}-{index}") for index in range(2)
+        ]
+        joiner = None
+        try:
+            transport = SocketRPCTransport(
+                [node.address for node in initial], join_address="127.0.0.1:0"
+            )
+            assert transport.join_address is not None
+            with ParallelSamplingExecutor(
+                graph, num_shards=4, transport=transport
+            ) as executor:
+                run = executor.run("twcs", label_array, seed=67)
+                for _ in range(2):  # ≥1 completed round before the join
+                    run.step(30)
+                joiner = WorkerProcess(
+                    tmp_path / f"join-late-{tag}", join=transport.join_address
+                )
+                time.sleep(0.5)  # let the join land in the listener backlog
+                for _ in range(4):
+                    run.step(30)
+                assert run.estimate() == serial_estimate
+                assert run.cost_summary() == serial_cost
+                stats = transport.stats()
+                joined = [node for node in stats["nodes"] if node["joined"]]
+                assert len(joined) == 1
+                # The joiner caught up on the CSR index (shipped exactly once
+                # to it) and actually executed work.
+                assert joined[0]["snapshots_shipped"] == 1
+                assert joined[0]["tasks_executed"] >= 1
+                assert stats["live_nodes"] == 3
+        finally:
+            for node in initial:
+                node.stop()
+            if joiner is not None:
+                joiner.stop()
+
+
+@pytest.mark.timeout(120)
+def test_close_is_idempotent_and_tolerates_nodes_dead_after_last_result(labelled, tmp_path):
+    """Regression: close() must survive the shutdown race with a node that
+    died right after delivering its last result — and stay a no-op when
+    called again."""
+    data, labels = labelled
+    workers = [WorkerProcess(tmp_path / f"close-{index}") for index in range(2)]
+    transport = SocketRPCTransport([worker.address for worker in workers])
+    try:
+        executor = ParallelSamplingExecutor(data.graph, num_shards=2, transport=transport)
+        run = executor.run("twcs", labels, seed=11)
+        run.step(40)
+        # Both nodes die *after* their last result, before close(): the
+        # goodbye hits reset/closed sockets on every node.
+        for worker in workers:
+            worker.kill()
+        time.sleep(0.1)
+        executor.close()  # must not raise
+        executor.close()  # idempotent
+        transport.close()  # and again at the transport level
+    finally:
+        for worker in workers:
+            worker.stop()
 
 
 @pytest.mark.timeout(120)

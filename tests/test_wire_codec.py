@@ -1,0 +1,190 @@
+"""Fuzz suite for the schema'd wire codec (`repro.sampling.wire`).
+
+Two properties carry the transport's safety story:
+
+* **Fidelity** — ``decode(encode(x)) == x`` over randomized
+  :class:`ShardTask` / :class:`ShardResult` trees, live RNG streams
+  included (the strategies are shared with the transport round-trip
+  suite).
+* **Totality under hostility** — decoding mutated or arbitrary bytes never
+  executes anything and never escapes with anything but
+  :class:`WireError`: every single-byte flip of a valid frame is caught by
+  the magic/version/length/CRC checks before one value is decoded.
+
+No sockets are involved; this runs in the tier-1 leg.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from test_transport_roundtrip import (
+    _arrays_equal,
+    _results,
+    _seeds_equal,
+    _sources_equal,
+    _tasks,
+)
+
+from repro.sampling import wire
+from repro.sampling.parallel import ShardResult, ShardTask
+from repro.sampling.wire import WireError
+
+
+def _tasks_equal(first: ShardTask, second: ShardTask) -> bool:
+    return (
+        first.index == second.index
+        and first.design == second.design
+        and first.count == second.count
+        and first.cap == second.cap
+        and first.cursor == second.cursor
+        and first.rng_state == second.rng_state
+        and _seeds_equal(first.perm_seed, second.perm_seed)
+        and _sources_equal(first.source, second.source)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fidelity
+# --------------------------------------------------------------------------- #
+@given(task=_tasks())
+def test_task_frame_roundtrip(task):
+    decoded = wire.decode_frame(wire.encode_frame(task))
+    assert isinstance(decoded, ShardTask)
+    assert _tasks_equal(decoded, task)
+
+
+@given(result=_results())
+def test_result_frame_roundtrip(result):
+    decoded = wire.decode_frame(wire.encode_frame(result))
+    assert isinstance(decoded, ShardResult)
+    assert decoded.index == result.index
+    assert decoded.cursor == result.cursor
+    assert decoded.elapsed == result.elapsed
+    assert decoded.rng_state == result.rng_state
+    for name in ("rows", "counts", "sizes", "positions"):
+        assert _arrays_equal(getattr(decoded, name), getattr(result, name))
+
+
+@given(
+    message=st.fixed_dictionaries(
+        {
+            "op": st.sampled_from(["hello", "task", "result", "attach"]),
+            "id": st.integers(min_value=0, max_value=2**40),
+            "nonce": st.binary(min_size=0, max_size=32),
+            "digests": st.lists(st.text(max_size=16), max_size=4),
+            "big": st.integers(min_value=-(2**200), max_value=2**200),
+            "nested": st.dictionaries(
+                st.text(max_size=8), st.one_of(st.none(), st.booleans(), st.floats(allow_nan=False))
+            ),
+        }
+    )
+)
+def test_message_dict_roundtrip(message):
+    assert wire.decode_frame(wire.encode_frame(message)) == message
+
+
+def test_live_rng_stream_survives_the_frame():
+    rng = np.random.default_rng(7)
+    rng.integers(0, 100, size=13)  # advance to a non-trivial state
+    state = rng.bit_generator.state
+    restored = np.random.default_rng()
+    restored.bit_generator.state = wire.decode_frame(wire.encode_frame(state))
+    np.testing.assert_array_equal(
+        rng.integers(0, 1 << 30, size=16),
+        restored.integers(0, 1 << 30, size=16),
+    )
+
+
+def test_seedsequence_spawn_tree_roundtrip():
+    root = np.random.SeedSequence(1234)
+    child = root.spawn(3)[2].spawn(2)[1]
+    decoded = wire.decode_frame(wire.encode_frame(child))
+    assert decoded.entropy == child.entropy
+    assert decoded.spawn_key == child.spawn_key
+    np.testing.assert_array_equal(decoded.generate_state(8), child.generate_state(8))
+
+
+# --------------------------------------------------------------------------- #
+# Totality under hostility
+# --------------------------------------------------------------------------- #
+@settings(max_examples=300)
+@given(task=_tasks(), mutation=st.tuples(st.integers(min_value=0), st.integers(1, 255)))
+def test_any_single_byte_flip_raises_wire_error(task, mutation):
+    """decode(mutate(encode(x))) is always WireError — never code execution."""
+    encoded = bytearray(wire.encode_frame(task))
+    position, flip = mutation
+    position %= len(encoded)
+    encoded[position] ^= flip
+    with pytest.raises(WireError):
+        wire.decode_frame(bytes(encoded))
+
+
+@given(result=_results(), cut=st.integers(min_value=0, max_value=10_000))
+def test_truncated_frames_raise_wire_error(result, cut):
+    encoded = wire.encode_frame(result)
+    with pytest.raises(WireError):
+        wire.decode_frame(encoded[: cut % len(encoded)])
+
+
+@given(task=_tasks(), junk=st.binary(min_size=1, max_size=64))
+def test_trailing_junk_raises_wire_error(task, junk):
+    with pytest.raises(WireError):
+        wire.decode_frame(wire.encode_frame(task) + junk)
+
+
+@given(data=st.binary(max_size=256))
+def test_decoding_arbitrary_payload_bytes_is_total(data):
+    """`loads` of arbitrary bytes either succeeds or raises WireError — the
+    decoder constructs nothing outside its closed type set and never lets
+    another exception (let alone a segfault or code execution) escape."""
+    try:
+        wire.loads(data)
+    except WireError:
+        pass
+
+
+@given(data=st.binary(max_size=256))
+def test_decoding_arbitrary_frame_bytes_raises_wire_error(data):
+    with pytest.raises(WireError):
+        wire.decode_frame(data)
+
+
+# --------------------------------------------------------------------------- #
+# Schema enforcement at encode time
+# --------------------------------------------------------------------------- #
+def test_object_arrays_are_refused():
+    hostile = np.asarray([object()], dtype=object)
+    with pytest.raises(WireError):
+        wire.dumps(hostile)
+
+
+def test_arbitrary_objects_are_refused():
+    class Payload:
+        pass
+
+    with pytest.raises(WireError):
+        wire.dumps({"op": "task", "task": Payload()})
+
+
+def test_non_string_dict_keys_are_refused():
+    with pytest.raises(WireError):
+        wire.dumps({1: "x"})
+
+
+def test_overdeep_nesting_is_refused_both_ways():
+    value = "leaf"
+    for _ in range(64):
+        value = [value]
+    with pytest.raises(WireError):
+        wire.dumps(value)
+
+
+def test_huge_declared_containers_are_bounded():
+    # A forged list header claiming 2**31 items must die on the size guard,
+    # not allocate.
+    forged = bytes([8]) + (2**31 - 1).to_bytes(4, "big") + b"\x00"
+    with pytest.raises(WireError):
+        wire.loads(forged)
