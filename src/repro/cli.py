@@ -46,11 +46,22 @@ Examples
     python -m repro worker --listen 127.0.0.1:7301 --base-dir /tmp/shards
     python -m repro evaluate --dataset nell --transport rpc \\
         --nodes 127.0.0.1:7301,127.0.0.1:7302 --shards 4
+    python -m repro evaluate --dataset nell --workers 2 \\
+        --log-json run.jsonl --metrics-out master.json
+    python -m repro metrics summarize master.json worker1.json
+
+``evaluate``, ``monitor`` and ``worker`` all accept ``--log-json PATH`` /
+``--log-level`` (structured JSON-lines logs with RPC-propagated trace spans)
+and ``--metrics-out PATH`` (a mergeable metrics snapshot written on exit);
+``metrics summarize`` renders any set of snapshots as per-shard and per-node
+tables.  Observability never touches a numpy RNG stream: trajectories are
+bit-identical with the flags on or off.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -446,11 +457,24 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
 def _cmd_worker(args: argparse.Namespace) -> int:
     """``repro worker``: serve shard tasks for the RPC transport."""
+    import signal
+
     from repro.sampling.rpc import RPCError, join_master, parse_node_address, serve_worker
 
     if bool(args.listen) == bool(args.join):
         raise SystemExit("pass exactly one of --listen HOST:PORT or --join HOST:PORT")
     secret = _load_cli_secret(args)
+    args.obs_node_id = f"worker-{os.getpid()}"
+
+    # An orderly SIGTERM (chaos-suite teardown, service managers) must still
+    # run main()'s finally block so --metrics-out snapshots get written.
+    def _on_term(signum, frame):  # pragma: no cover - signal path
+        raise SystemExit(0)
+
+    try:
+        signal.signal(signal.SIGTERM, _on_term)
+    except ValueError:  # pragma: no cover - not the main thread (tests)
+        pass
 
     if args.join:
         # Elastic membership: dial a running master and serve it over the
@@ -480,6 +504,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
     def on_ready(bound_host: str, bound_port: int) -> None:
         # Single parseable line: launchers using port 0 read the real port.
+        args.obs_node_id = f"{bound_host}:{bound_port}"
         print(f"worker listening on {bound_host}:{bound_port}", flush=True)
         print(f"snapshot cache     {args.base_dir}", flush=True)
 
@@ -547,6 +572,86 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 2
     print(runner(args))
     return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """``repro metrics summarize FILE...``: merge snapshots and print tables."""
+    from repro.obs.summarize import summarize_files
+
+    print(summarize_files(args.files))
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Observability wiring
+# --------------------------------------------------------------------------- #
+_OBS_COMMANDS = ("evaluate", "monitor", "worker")
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    """Observability options shared by ``evaluate``, ``monitor`` and ``worker``.
+
+    Neither flag ever touches a numpy RNG stream, so instrumented runs stay
+    bit-identical to uninstrumented ones.
+    """
+    parser.add_argument(
+        "--log-json",
+        default=None,
+        dest="log_json",
+        help="append structured JSON-lines logs (and trace spans) to this "
+        "file; every record carries the run id, so master and worker logs "
+        "stitch into one cross-node trace",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        dest="log_level",
+        help="minimum level written to --log-json (default info; debug adds "
+        "per-round allocation and per-task span records)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        dest="metrics_out",
+        help="write a JSON metrics snapshot here on exit; feed one or more "
+        "such files to `repro metrics summarize`",
+    )
+
+
+def _obs_setup(args: argparse.Namespace) -> str:
+    """Configure logging/tracing from the obs flags; returns the run id."""
+    from repro.obs import logging as obs_logging
+    from repro.obs import trace as obs_trace
+
+    run_id = os.urandom(6).hex()
+    if getattr(args, "log_json", None):
+        obs_logging.configure(
+            args.log_json,
+            level=args.log_level,
+            run_id=run_id,
+            command=args.command,
+            pid=os.getpid(),
+        )
+        obs_trace.enable()
+    return run_id
+
+
+def _obs_teardown(args: argparse.Namespace, run_id: str) -> None:
+    """Export the metrics snapshot (if asked) and release the log sink."""
+    from repro.obs import logging as obs_logging
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    if getattr(args, "metrics_out", None):
+        meta = {"run_id": run_id, "command": args.command, "pid": os.getpid()}
+        node_id = getattr(args, "obs_node_id", None)
+        if node_id:
+            meta["node_id"] = node_id
+        obs_metrics.export(args.metrics_out, meta=meta)
+    if getattr(args, "log_json", None):
+        obs_trace.disable()
+        obs_logging.reset()
 
 
 # --------------------------------------------------------------------------- #
@@ -660,6 +765,7 @@ def build_parser() -> argparse.ArgumentParser:
         "for a fixed --shards",
     )
     _add_rpc_options(evaluate)
+    _add_obs_options(evaluate)
     evaluate.add_argument(
         "--allocation",
         choices=("proportional", "neyman"),
@@ -759,6 +865,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--transport`); requires --backend columnar with --evaluator rs or ss",
     )
     _add_rpc_options(monitor)
+    _add_obs_options(monitor)
 
     worker = subparsers.add_parser(
         "worker",
@@ -809,6 +916,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="sleep this many seconds before executing each task (throttling/"
         "fault-injection aid for the chaos suite; default 0)",
     )
+    _add_obs_options(worker)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="inspect metrics snapshots written by --metrics-out",
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    summarize = metrics_sub.add_parser(
+        "summarize",
+        help="merge snapshot files and print per-shard / per-node tables",
+    )
+    summarize.add_argument(
+        "files",
+        nargs="+",
+        help="metrics snapshot JSON files (master --metrics-out plus any "
+        "worker snapshots; node-less series inherit each file's node id)",
+    )
 
     experiment = subparsers.add_parser(
         "experiment", parents=[common], help="regenerate one of the paper's tables/figures"
@@ -823,20 +947,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "datasets":
-        return _cmd_datasets(args)
-    if args.command == "evaluate":
-        return _cmd_evaluate(args)
-    if args.command == "snapshot":
-        return _cmd_snapshot(args)
-    if args.command == "monitor":
-        return _cmd_monitor(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "worker":
-        return _cmd_worker(args)
-    parser.print_help()
-    return 2
+    handlers = {
+        "datasets": _cmd_datasets,
+        "evaluate": _cmd_evaluate,
+        "snapshot": _cmd_snapshot,
+        "monitor": _cmd_monitor,
+        "experiment": _cmd_experiment,
+        "worker": _cmd_worker,
+        "metrics": _cmd_metrics,
+    }
+    handler = handlers.get(args.command)
+    if handler is None:
+        parser.print_help()
+        return 2
+    if args.command not in _OBS_COMMANDS:
+        return handler(args)
+    run_id = _obs_setup(args)
+    try:
+        return handler(args)
+    finally:
+        # Runs on clean exit, errors and SIGTERM (the worker converts it to
+        # SystemExit), so --metrics-out snapshots survive orderly shutdowns.
+        _obs_teardown(args, run_id)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

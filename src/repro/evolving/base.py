@@ -14,6 +14,7 @@ from repro.cost.model import CostModel
 from repro.generators.datasets import LabelledKG
 from repro.kg.updates import EvolvingKnowledgeGraph, UpdateBatch
 from repro.labels.oracle import LabelOracle
+from repro.obs import metrics as obs_metrics
 from repro.sampling.segment import PositionSegment
 
 __all__ = ["UpdateEvaluation", "IncrementalEvaluator"]
@@ -317,10 +318,28 @@ class IncrementalEvaluator(ABC):
         )
 
     def _record(self, batch_id: str, report: EvaluationReport) -> UpdateEvaluation:
+        cost_now, triples_now, entities_now = self._cost_totals()
+        # Annotation-cost deltas since the previous recorded state: the
+        # counters advance batch by batch even though the account only
+        # exposes cumulative totals.
+        last_cost, last_triples, last_entities = getattr(
+            self, "_obs_last_totals", (0.0, 0, 0)
+        )
+        kind = type(self).__name__
+        obs_metrics.counter("annotation_cost_seconds_total", evaluator=kind).inc(
+            max(0.0, cost_now - last_cost)
+        )
+        obs_metrics.counter("annotation_triples_total", evaluator=kind).inc(
+            max(0, triples_now - last_triples)
+        )
+        obs_metrics.counter("annotation_entities_total", evaluator=kind).inc(
+            max(0, entities_now - last_entities)
+        )
+        self._obs_last_totals = (cost_now, triples_now, entities_now)
         evaluation = UpdateEvaluation(
             batch_id=batch_id,
             report=report,
-            cumulative_cost_seconds=self._cost_totals()[0] + self._discarded_cost_seconds,
+            cumulative_cost_seconds=cost_now + self._discarded_cost_seconds,
         )
         self.history.append(evaluation)
         return evaluation

@@ -10,14 +10,20 @@ sequence and records the trajectory.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.evolving.base import IncrementalEvaluator
 from repro.kg.updates import UpdateBatch
 from repro.labels.oracle import LabelOracle
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.logging import get_logger
 
 __all__ = ["MonitorRecord", "EvolvingAccuracyMonitor"]
+
+_log = get_logger("evolving.monitor")
 
 
 @dataclass(frozen=True)
@@ -76,7 +82,18 @@ class EvolvingAccuracyMonitor:
         """Apply one update batch, re-evaluate and record the new point."""
         if not self.records:
             self.evaluate_base()
-        evaluation = self.evaluator.apply_update(batch, batch_oracle)
+        started = time.perf_counter()
+        with obs_trace.span("evolving.apply_update", batch=batch.batch_id):
+            evaluation = self.evaluator.apply_update(batch, batch_oracle)
+        elapsed = time.perf_counter() - started
+        obs_metrics.histogram("evolving_batch_update_seconds").observe(elapsed)
+        _log.debug(
+            "batch_applied",
+            batch=batch.batch_id,
+            elapsed=round(elapsed, 6),
+            accuracy=evaluation.accuracy,
+            cost_hours=evaluation.incremental_cost_hours,
+        )
         record = MonitorRecord(
             batch_index=len(self.records),
             batch_id=batch.batch_id,

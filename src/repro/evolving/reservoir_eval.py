@@ -44,6 +44,7 @@ from repro.evolving.base import IncrementalEvaluator, UpdateEvaluation
 from repro.kg.triple import Triple
 from repro.kg.updates import UpdateBatch
 from repro.labels.oracle import LabelOracle
+from repro.obs import metrics as obs_metrics
 from repro.sampling.base import Estimate
 from repro.sampling.segment import PositionSegment
 from repro.stats.running import RunningMean
@@ -130,6 +131,7 @@ class ReservoirIncrementalEvaluator(IncrementalEvaluator):
         self._stats_triples -= (
             entry.num_triples if isinstance(entry, _PositionEntry) else len(entry.triples)
         )
+        obs_metrics.counter("reservoir_evictions_total").inc()
         return entry
 
     # ------------------------------------------------------------------ #

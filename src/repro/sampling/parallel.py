@@ -77,6 +77,10 @@ import numpy as np
 
 from repro.cost.model import CostModel
 from repro.kg.graph import _floyd_sample_batch
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.logging import get_logger
+from repro.obs.trace import TraceContext
 from repro.sampling.base import Estimate
 from repro.stats.allocation import (
     largest_remainder,
@@ -104,6 +108,9 @@ __all__ = [
 PARALLEL_DESIGNS = ("srs", "rcs", "wcs", "twcs", "tsrcs")
 
 _WOR_DESIGNS = ("srs", "rcs")
+
+_log = get_logger("sampling.engine")
+_task_log = get_logger("sampling.task")
 
 
 # --------------------------------------------------------------------------- #
@@ -159,7 +166,12 @@ class ShardSource:
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One round of draws for one shard — self-contained and picklable."""
+    """One round of draws for one shard — self-contained and picklable.
+
+    ``trace`` is observability-only context (the master's round span); it
+    never feeds the draw and defaults to None, in which case the wire
+    encoding is byte-identical to the pre-trace protocol.
+    """
 
     index: int
     design: str
@@ -169,6 +181,7 @@ class ShardTask:
     rng_state: dict | None
     perm_seed: np.random.SeedSequence | None
     cursor: int
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -181,6 +194,7 @@ class ShardResult:
     rng_state: dict | None
     cursor: int
     elapsed: float
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -285,6 +299,9 @@ def _wor_permutation(perm_seed: np.random.SeedSequence, span: int) -> np.ndarray
 
 def _run_task(task: ShardTask, attached: tuple[np.ndarray, np.ndarray] | None) -> ShardResult:
     started = time.perf_counter()
+    # Child span context for this task: observability-only, derived from
+    # os.urandom — the numpy streams below never see it.
+    task_trace = obs_trace.child_context(task.trace) if task.trace is not None else None
     source = task.source
     view: ShardView | None = None
     rows_explicit = None
@@ -354,6 +371,18 @@ def _run_task(task: ShardTask, attached: tuple[np.ndarray, np.ndarray] | None) -
         rows = row_base + local
     if sizes is None:
         sizes = sizes_all[local] if design != "fixed" else sizes_all
+    elapsed = time.perf_counter() - started
+    if _task_log.enabled_for("debug"):
+        _task_log.debug(
+            "shard_task",
+            shard=task.index,
+            design=design,
+            count=int(task.count),
+            elapsed=round(elapsed, 6),
+            trace_id=task_trace.trace_id if task_trace else None,
+            span_id=task_trace.span_id if task_trace else None,
+            parent_id=task.trace.span_id if task.trace else None,
+        )
     return ShardResult(
         index=task.index,
         rows=np.asarray(rows, dtype=np.int64),
@@ -362,7 +391,8 @@ def _run_task(task: ShardTask, attached: tuple[np.ndarray, np.ndarray] | None) -
         positions=np.asarray(positions)[flat].astype(np.int64),
         rng_state=rng.bit_generator.state,
         cursor=cursor,
-        elapsed=time.perf_counter() - started,
+        elapsed=elapsed,
+        trace=task_trace,
     )
 
 
@@ -665,6 +695,7 @@ class SamplingRun:
         self._total_units = 0
         self._shard_units = np.zeros(num_tasks, dtype=np.int64)
         self._shard_seconds = np.zeros(num_tasks, dtype=np.float64)
+        self._shard_tasks = np.zeros(num_tasks, dtype=np.int64)
         self._rounds = 0
 
     # ------------------------------------------------------------------ #
@@ -732,44 +763,64 @@ class SamplingRun:
         """Draw one round of ``count`` units across the shards and fold them in."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        allocation = self._allocate(count)
-        tasks = []
-        for index in np.flatnonzero(allocation):
-            tasks.append(
-                ShardTask(
-                    index=int(index),
-                    design="twcs" if self.design == "twcs-strat" else self.design,
-                    source=self._sources[index],
-                    count=int(allocation[index]),
-                    cap=self.second_stage_size,
-                    rng_state=self._rng_states[index],
-                    perm_seed=self._perm_seeds[index],
-                    cursor=int(self._cursors[index]),
+        with obs_trace.span(
+            "sampling.round", design=self.design, round=self._rounds, requested=count
+        ) as round_span:
+            allocation = self._allocate(count)
+            if _log.enabled_for("debug"):
+                _log.debug(
+                    "allocation",
+                    design=self.design,
+                    round=self._rounds,
+                    requested=count,
+                    allocation=[int(value) for value in allocation],
                 )
-            )
-        results = self._executor._map(tasks)
-        draws: list[ShardDraw] = []
-        for result in results:
-            index = result.index
-            self._rng_states[index] = result.rng_state
-            self._cursors[index] = result.cursor
-            self._shard_seconds[index] += result.elapsed
-            sums = _unit_label_sums(result.counts, result.positions, self._labels)
-            rows = result.rows
-            if self._segment is not None:
-                # Shard-local cluster indices -> segment cluster indices.
-                rows = rows + self._row_offsets[index]
-            self._fold(index, result, sums, rows)
-            draws.append(
-                ShardDraw(
-                    shard=index,
-                    rows=rows,
-                    counts=result.counts,
-                    positions=result.positions,
-                    sums=sums,
+            tasks = []
+            for index in np.flatnonzero(allocation):
+                tasks.append(
+                    ShardTask(
+                        index=int(index),
+                        design="twcs" if self.design == "twcs-strat" else self.design,
+                        source=self._sources[index],
+                        count=int(allocation[index]),
+                        cap=self.second_stage_size,
+                        rng_state=self._rng_states[index],
+                        perm_seed=self._perm_seeds[index],
+                        cursor=int(self._cursors[index]),
+                        trace=round_span.context,
+                    )
                 )
-            )
-        self._rounds += 1
+            results = self._executor._map(tasks)
+            draws: list[ShardDraw] = []
+            round_units = 0
+            for result in results:
+                index = result.index
+                self._rng_states[index] = result.rng_state
+                self._cursors[index] = result.cursor
+                self._shard_seconds[index] += result.elapsed
+                self._shard_tasks[index] += 1
+                obs_metrics.histogram(
+                    "sampling_shard_draw_seconds", shard=index
+                ).observe(result.elapsed)
+                sums = _unit_label_sums(result.counts, result.positions, self._labels)
+                rows = result.rows
+                if self._segment is not None:
+                    # Shard-local cluster indices -> segment cluster indices.
+                    rows = rows + self._row_offsets[index]
+                self._fold(index, result, sums, rows)
+                round_units += int(result.counts.shape[0])
+                draws.append(
+                    ShardDraw(
+                        shard=index,
+                        rows=rows,
+                        counts=result.counts,
+                        positions=result.positions,
+                        sums=sums,
+                    )
+                )
+            self._rounds += 1
+            obs_metrics.counter("sampling_rounds_total").inc()
+            obs_metrics.counter("sampling_units_total").inc(round_units)
         return draws
 
     def _fold(
@@ -879,16 +930,28 @@ class SamplingRun:
         )
 
     def shard_stats(self) -> list[dict]:
-        """Per-shard draw statistics (units, triples, worker seconds)."""
-        return [
-            {
-                "shard": index,
-                "units": int(self._shard_units[index]),
-                "triples": int(self._task_triples[index]),
-                "draw_seconds": float(self._shard_seconds[index]),
-            }
-            for index in range(len(self._sources))
-        ]
+        """Per-shard draw statistics — the single source of truth for them.
+
+        Benchmarks (``BENCH_parallel.json``), exported metrics snapshots and
+        the future adaptive transport planner all read this one structure:
+        per shard, the units and triples drawn, the number of executed tasks
+        and the cumulative worker-side draw seconds (plus the mean per task).
+        """
+        stats = []
+        for index in range(len(self._sources)):
+            tasks = int(self._shard_tasks[index])
+            seconds = float(self._shard_seconds[index])
+            stats.append(
+                {
+                    "shard": index,
+                    "units": int(self._shard_units[index]),
+                    "triples": int(self._task_triples[index]),
+                    "tasks": tasks,
+                    "draw_seconds": seconds,
+                    "mean_task_seconds": seconds / tasks if tasks else 0.0,
+                }
+            )
+        return stats
 
     @property
     def num_units(self) -> int:

@@ -58,6 +58,8 @@ import time
 from collections import deque
 from pathlib import Path
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
 from repro.sampling import wire
 from repro.sampling.parallel import ShardResult, ShardTask, ShardTransport, _run_task
 from repro.storage.distribute import SnapshotCache, csr_digest, pack_csr
@@ -92,6 +94,9 @@ MAX_HANDSHAKE_BYTES = 1 << 16
 #: not for the generous post-auth ``idle_timeout``.
 HANDSHAKE_TIMEOUT = 10.0
 _NONCE_BYTES = 16
+
+_master_log = get_logger("rpc.master")
+_worker_log = get_logger("rpc.worker")
 
 
 class RPCError(RuntimeError):
@@ -136,9 +141,16 @@ def decode_message(data: bytes):
         raise RPCError(f"protocol error: {exc}") from exc
 
 
-def send_message(sock: socket.socket, obj) -> None:
-    """Write one framed message to a socket."""
-    sock.sendall(encode_message(obj))
+def send_message(sock: socket.socket, obj, meter=None) -> None:
+    """Write one framed message to a socket.
+
+    ``meter(byte_count)``, when given, observes the frame size after a
+    successful write — the hook the frame/byte counters hang off.
+    """
+    data = encode_message(obj)
+    sock.sendall(data)
+    if meter is not None:
+        meter(len(data))
 
 
 def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
@@ -155,7 +167,7 @@ def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def _finish_frame(sock: socket.socket, header: bytes, limit: int):
+def _finish_frame(sock: socket.socket, header: bytes, limit: int, meter=None):
     try:
         length, crc = wire.parse_header(header)
     except wire.WireError as exc:
@@ -165,13 +177,15 @@ def _finish_frame(sock: socket.socket, header: bytes, limit: int):
     payload = _recv_exactly(sock, length) if length else b""
     if payload is None:
         raise RPCError("connection closed mid-frame")
+    if meter is not None:
+        meter(wire.HEADER_SIZE + len(payload))
     try:
         return wire.check_payload(payload, crc)
     except wire.WireError as exc:
         raise RPCError(f"protocol error: {exc}") from exc
 
 
-def recv_message(sock: socket.socket, *, limit: int = MAX_MESSAGE_BYTES):
+def recv_message(sock: socket.socket, *, limit: int = MAX_MESSAGE_BYTES, meter=None):
     """Read one framed message; returns ``None`` on clean end-of-stream.
 
     All decode failures surface as :class:`RPCError` (wrapping the codec's
@@ -183,7 +197,7 @@ def recv_message(sock: socket.socket, *, limit: int = MAX_MESSAGE_BYTES):
     header = _recv_exactly(sock, wire.HEADER_SIZE)
     if header is None:
         return None
-    return _finish_frame(sock, header, limit)
+    return _finish_frame(sock, header, limit, meter)
 
 
 #: Sentinel returned by :func:`_recv_message_bail` when the caller's bail
@@ -191,7 +205,9 @@ def recv_message(sock: socket.socket, *, limit: int = MAX_MESSAGE_BYTES):
 _BAILED = object()
 
 
-def _recv_message_bail(sock: socket.socket, bail, io_timeout: float | None, poll: float = 0.05):
+def _recv_message_bail(
+    sock: socket.socket, bail, io_timeout: float | None, poll: float = 0.05, meter=None
+):
     """Like :func:`recv_message`, but interruptible *between* frames.
 
     While no byte of the next frame has arrived, the socket is polled in
@@ -221,7 +237,7 @@ def _recv_message_bail(sock: socket.socket, bail, io_timeout: float | None, poll
     rest = _recv_exactly(sock, wire.HEADER_SIZE - 1)
     if rest is None:
         raise RPCError("connection closed mid-frame")
-    return _finish_frame(sock, first + rest, MAX_MESSAGE_BYTES)
+    return _finish_frame(sock, first + rest, MAX_MESSAGE_BYTES, meter)
 
 
 def parse_node_address(spec: str | tuple[str, int]) -> tuple[str, int]:
@@ -279,6 +295,19 @@ def _auth_ok(secret: bytes, role: bytes, initiator_nonce, responder_nonce, tag) 
     return hmac.compare_digest(_auth_tag(secret, role, initiator_nonce, responder_nonce), tag)
 
 
+def _frame_meter(direction: str, node: str | None = None):
+    """Counter pair (frames, bytes) for one peer/direction as a meter hook."""
+    labels = {"node": node} if node is not None else {}
+    frames = obs_metrics.counter(f"rpc_frames_{direction}_total", **labels)
+    size = obs_metrics.counter(f"rpc_bytes_{direction}_total", **labels)
+
+    def meter(count: int) -> None:
+        frames.inc()
+        size.inc(count)
+
+    return meter
+
+
 # --------------------------------------------------------------------------- #
 # Worker side
 # --------------------------------------------------------------------------- #
@@ -307,10 +336,17 @@ def _reply_for(
             return {"op": "error", "id": task_id, "message": "malformed task payload"}
         if task_delay > 0.0:
             time.sleep(task_delay)
+        started = time.perf_counter()
         try:
             result = _run_task(task, attached)
         except Exception as exc:  # propagate to the master, don't kill the worker
+            _worker_log.warning(
+                "task_failed", task_id=task_id, error=f"{type(exc).__name__}: {exc}"
+            )
             return {"op": "error", "id": task_id, "message": f"{type(exc).__name__}: {exc}"}
+        obs_metrics.histogram("rpc_task_service_seconds").observe(
+            time.perf_counter() - started
+        )
         return {"op": "result", "id": task_id, "result": result}
     return {"op": "error", "message": f"unknown op {op!r}"}
 
@@ -318,29 +354,36 @@ def _reply_for(
 def _serve_ops(conn: socket.socket, cache: SnapshotCache, task_delay: float) -> None:
     """Serve attach/snapshot/task requests on an authenticated connection."""
     attached = None
+    recv_meter = _frame_meter("received")
+    send_meter = _frame_meter("sent")
     while True:
-        message = recv_message(conn)
+        message = recv_message(conn, meter=recv_meter)
         if message is None or not isinstance(message, dict):
             return
         op = message.get("op")
         if op in ("shutdown", "auth_error"):
+            _worker_log.debug("connection_closed", op=op)
             return
         if op == "attach":
             # A failed attach clears any previous attachment: the master
             # wants *this* digest, and stale arrays must never answer it.
             digest = message.get("digest")
-            attached = (
-                cache.load_csr(digest) if isinstance(digest, str) and cache.has(digest) else None
-            )
-        send_message(conn, _reply_for(op, message, cache, attached, task_delay))
+            hit = isinstance(digest, str) and cache.has(digest)
+            attached = cache.load_csr(digest) if hit else None
+            _worker_log.info("attach", digest=digest, cache_hit=bool(hit))
+        elif op == "put_snapshot":
+            _worker_log.info("snapshot_received", digest=message.get("digest"))
+        send_message(conn, _reply_for(op, message, cache, attached, task_delay), send_meter)
 
 
 def _handshake_server(conn: socket.socket, cache: SnapshotCache, secret: bytes) -> bool:
     """Challenge/response with a connecting master; True once mutually authed."""
+    started = time.perf_counter()
     nonce = os.urandom(_NONCE_BYTES)
     send_message(conn, {"op": "challenge", "version": PROTOCOL_VERSION, "nonce": nonce})
     hello = recv_message(conn, limit=MAX_HANDSHAKE_BYTES)
     if not isinstance(hello, dict) or hello.get("op") != "hello":
+        _worker_log.warning("handshake_rejected", reason="malformed hello")
         return False
     if hello.get("version") != PROTOCOL_VERSION:
         send_message(
@@ -350,10 +393,13 @@ def _handshake_server(conn: socket.socket, cache: SnapshotCache, secret: bytes) 
                 "message": f"protocol version mismatch, worker speaks v{PROTOCOL_VERSION}",
             },
         )
+        _worker_log.warning("handshake_rejected", reason="protocol version mismatch")
         return False
     master_nonce = hello.get("nonce")
     if not _auth_ok(secret, b"listen-master", nonce, master_nonce, hello.get("auth")):
         send_message(conn, {"op": "auth_error", "message": "shared-secret authentication failed"})
+        obs_metrics.counter("rpc_auth_failures_total").inc()
+        _worker_log.warning("auth_failed", role="listen-master")
         return False
     send_message(
         conn,
@@ -364,6 +410,9 @@ def _handshake_server(conn: socket.socket, cache: SnapshotCache, secret: bytes) 
             "auth": _auth_tag(secret, b"listen-worker", nonce, master_nonce),
         },
     )
+    duration = time.perf_counter() - started
+    obs_metrics.histogram("rpc_handshake_seconds").observe(duration)
+    _worker_log.info("handshake_ok", duration=round(duration, 6))
     return True
 
 
@@ -429,13 +478,15 @@ def serve_worker(
     secret = _normalise_secret(secret)
     with socket.create_server((host, port)) as server:
         bound_host, bound_port = server.getsockname()[:2]
+        _worker_log.info("worker_listening", address=f"{bound_host}:{bound_port}")
         if on_ready is not None:
             on_ready(bound_host, bound_port)
         served = 0
         while max_connections is None or served < max_connections:
-            conn, _ = server.accept()
+            conn, peer = server.accept()
             conn.settimeout(HANDSHAKE_TIMEOUT)
             served += 1
+            _worker_log.debug("connection_accepted", peer=f"{peer[0]}:{peer[1]}")
             _serve_connection(conn, cache, secret, task_delay, idle_timeout)
 
 
@@ -501,6 +552,7 @@ def join_master(
                 "auth": _auth_tag(secret, b"join-worker", nonce, master_nonce),
             },
         )
+        _worker_log.info("joined_master", master=f"{host}:{port}")
         if on_joined is not None:
             on_joined(host, port)
         try:
@@ -548,12 +600,15 @@ class _Node:
         #: stream.
         self.abandoned: set[int] = set()
         self._next_id = 0
+        self._send_meter = _frame_meter("sent", self.address)
+        self._recv_meter = _frame_meter("received", self.address)
 
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
 
     def mark_dead(self, error: Exception | str) -> None:
+        was_live = not self.dead
         self.dead = True
         self.last_error = str(error)
         sock, self.sock = self.sock, None
@@ -562,12 +617,15 @@ class _Node:
                 sock.close()
             except OSError:  # pragma: no cover - close failures are moot
                 pass
+        if was_live:
+            obs_metrics.counter("rpc_node_drops_total", node=self.address).inc()
+            _master_log.warning("node_drop", address=self.address, error=self.last_error)
 
     def _request(self, message: dict) -> dict:
         assert self.sock is not None
-        send_message(self.sock, message)
+        send_message(self.sock, message, self._send_meter)
         while True:
-            reply = recv_message(self.sock)
+            reply = recv_message(self.sock, meter=self._recv_meter)
             if reply is None:
                 raise RPCError(f"node {self.address} closed the connection")
             if not isinstance(reply, dict):
@@ -583,6 +641,7 @@ class _Node:
             return reply
 
     def _connect(self) -> None:
+        started = time.perf_counter()
         sock = socket.create_connection((self.host, self.port), timeout=self.connect_timeout)
         # The handshake runs under the short connect deadline — a silent or
         # non-protocol listener is latched dead in seconds, not after the
@@ -592,7 +651,7 @@ class _Node:
         self.attached_digest = None
         self.abandoned.clear()
         self._next_id = 0
-        challenge = recv_message(sock, limit=MAX_HANDSHAKE_BYTES)
+        challenge = recv_message(sock, limit=MAX_HANDSHAKE_BYTES, meter=self._recv_meter)
         if not isinstance(challenge, dict) or challenge.get("op") != "challenge":
             raise RPCError(f"node {self.address} spoke {challenge!r}, expected a challenge")
         if challenge.get("version") != PROTOCOL_VERSION:
@@ -612,22 +671,28 @@ class _Node:
                 "auth": _auth_tag(self.secret, b"listen-master", nonce, my_nonce),
                 "nonce": my_nonce,
             },
+            self._send_meter,
         )
-        hello = recv_message(sock, limit=MAX_HANDSHAKE_BYTES)
+        hello = recv_message(sock, limit=MAX_HANDSHAKE_BYTES, meter=self._recv_meter)
         if hello is None:
             raise RPCError(f"node {self.address} closed during the handshake")
         if isinstance(hello, dict) and hello.get("op") == "auth_error":
             self.auth_failed = True
+            _master_log.warning("auth_failed", address=self.address, direction="ours-rejected")
             raise RPCAuthError(f"node {self.address} rejected our shared secret")
         if not isinstance(hello, dict) or hello.get("op") != "hello":
             raise RPCError(f"node {self.address} spoke {hello!r}, expected hello")
         if not _auth_ok(self.secret, b"listen-worker", nonce, my_nonce, hello.get("auth")):
             self.auth_failed = True
+            _master_log.warning("auth_failed", address=self.address, direction="theirs-rejected")
             raise RPCAuthError(f"node {self.address} failed shared-secret authentication")
         # Authenticated: switch to the per-operation io deadline — it bounds
         # one snapshot transfer or one shard round, so a wedged node times
         # out, is latched dead and has its tasks reassigned.
         sock.settimeout(self.io_timeout)
+        duration = time.perf_counter() - started
+        obs_metrics.histogram("rpc_handshake_seconds", node=self.address).observe(duration)
+        _master_log.info("handshake_ok", address=self.address, duration=round(duration, 6))
 
     def ensure_ready(self, digest: str, package_bytes) -> None:
         """Connect, handshake and attach the node to ``digest`` (idempotent)."""
@@ -660,13 +725,13 @@ class _Node:
         assert self.sock is not None
         task_id = self._next_id
         self._next_id += 1
-        send_message(self.sock, {"op": "task", "id": task_id, "task": task})
+        send_message(self.sock, {"op": "task", "id": task_id, "task": task}, self._send_meter)
         return task_id
 
     def recv_reply(self, bail):
         """Receive one task reply (or :data:`_BAILED` between frames)."""
         assert self.sock is not None
-        reply = _recv_message_bail(self.sock, bail, self.io_timeout)
+        reply = _recv_message_bail(self.sock, bail, self.io_timeout, meter=self._recv_meter)
         if reply is _BAILED:
             return _BAILED
         if reply is None:
@@ -983,12 +1048,15 @@ class SocketRPCTransport(ShardTransport):
                                 return
                             to_send.append(stolen)
                             node.tasks_stolen += 1
+                            obs_metrics.counter("rpc_tasks_stolen_total", node=node.address).inc()
+                            _master_log.debug("task_stolen", address=node.address, slot=stolen)
                         for slot in to_send:
                             owners.setdefault(slot, set()).add(node)
                     while to_send:
                         slot = to_send[0]
                         inflight[node.send_task(tasks[slot])] = slot
                         to_send.pop(0)
+                    obs_metrics.gauge("rpc_inflight_window", node=node.address).set(len(inflight))
                     if not inflight:
                         continue
                     reply = node.recv_reply(bail)
@@ -1017,6 +1085,12 @@ class SocketRPCTransport(ShardTransport):
                         if not isinstance(result, ShardResult):
                             raise RPCError(f"node {node.address} returned a malformed result")
                         node.tasks_executed += 1
+                        obs_metrics.histogram(
+                            "rpc_task_service_seconds", node=node.address
+                        ).observe(result.elapsed)
+                        obs_metrics.gauge("rpc_inflight_window", node=node.address).set(
+                            len(inflight)
+                        )
                         with lock:
                             release(node, slot)
                             if results[slot] is None:

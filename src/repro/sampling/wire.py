@@ -45,7 +45,16 @@ tag   body
 ``13`` :class:`~repro.sampling.parallel.ShardTask` (8 tagged fields)
 ``14`` :class:`~repro.sampling.parallel.ShardResult` (8 tagged fields)
 ``15`` :class:`~repro.sampling.parallel.ShardSource` (6 tagged fields)
+``16`` :class:`~repro.obs.trace.TraceContext` (trace_id, span_id strings)
+``17`` traced ShardTask: the 8 fields of tag ``13`` + a TraceContext
+``18`` traced ShardResult: the 8 fields of tag ``14`` + a TraceContext
 ====  =======================================================================
+
+Tags ``16``–``18`` are the observability extension: a task or result whose
+``trace`` field is ``None`` still encodes under the legacy tags ``13``/``14``
+— **byte-identical** to the pre-trace protocol — so tracing-off peers
+interoperate unchanged, and a pre-trace peer receiving a traced frame fails
+with a typed ``unknown wire tag`` :class:`WireError`, never a hang.
 
 Generator states (``Generator.bit_generator.state``) need no tag of their
 own: they are plain dicts of strs, ints (including the 128-bit PCG64 state
@@ -60,6 +69,7 @@ import zlib
 
 import numpy as np
 
+from repro.obs.trace import TraceContext
 from repro.sampling.parallel import ShardResult, ShardSource, ShardTask
 
 __all__ = [
@@ -96,6 +106,9 @@ _T_SEEDSEQ = 12
 _T_TASK = 13
 _T_RESULT = 14
 _T_SOURCE = 15
+_T_TRACECTX = 16
+_T_TASK_TRACED = 17
+_T_RESULT_TRACED = 18
 
 _I64 = struct.Struct(">q")
 _U32 = struct.Struct(">I")
@@ -203,8 +216,10 @@ def _encode(value, out: bytearray, depth: int) -> None:
         _encode(int(value.pool_size), out, depth + 1)
         _encode(int(value.n_children_spawned), out, depth + 1)
     elif isinstance(value, ShardTask):
-        out.append(_T_TASK)
-        for field in (
+        # trace=None stays on the legacy tag, byte-identical to the
+        # pre-trace protocol; only traced tasks use the extension tag.
+        out.append(_T_TASK if value.trace is None else _T_TASK_TRACED)
+        fields = [
             value.index,
             value.design,
             value.source,
@@ -213,11 +228,14 @@ def _encode(value, out: bytearray, depth: int) -> None:
             value.rng_state,
             value.perm_seed,
             value.cursor,
-        ):
+        ]
+        if value.trace is not None:
+            fields.append(value.trace)
+        for field in fields:
             _encode(field, out, depth + 1)
     elif isinstance(value, ShardResult):
-        out.append(_T_RESULT)
-        for field in (
+        out.append(_T_RESULT if value.trace is None else _T_RESULT_TRACED)
+        fields = [
             value.index,
             value.rows,
             value.counts,
@@ -226,12 +244,19 @@ def _encode(value, out: bytearray, depth: int) -> None:
             value.rng_state,
             value.cursor,
             value.elapsed,
-        ):
+        ]
+        if value.trace is not None:
+            fields.append(value.trace)
+        for field in fields:
             _encode(field, out, depth + 1)
     elif isinstance(value, ShardSource):
         out.append(_T_SOURCE)
         for field in (value.kind, value.lo, value.hi, value.rows, value.offsets, value.positions):
             _encode(field, out, depth + 1)
+    elif isinstance(value, TraceContext):
+        out.append(_T_TRACECTX)
+        _encode_str(value.trace_id, out)
+        _encode_str(value.span_id, out)
     else:
         raise WireError(f"type {type(value).__name__} is not allowed on the wire")
 
@@ -359,7 +384,20 @@ def _decode_rng_state(value, what: str):
     return value
 
 
-def _decode_task(reader: _Reader, depth: int) -> ShardTask:
+def _decode_tracectx(reader: _Reader, depth: int) -> TraceContext:
+    trace_id = _expect(_decode(reader, depth), str, "TraceContext.trace_id")
+    span_id = _expect(_decode(reader, depth), str, "TraceContext.span_id")
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+def _decode_trace_field(reader: _Reader, depth: int, what: str) -> TraceContext:
+    value = _decode(reader, depth)
+    if not isinstance(value, TraceContext):
+        raise WireError(f"{what} must be a TraceContext")
+    return value
+
+
+def _decode_task(reader: _Reader, depth: int, *, traced: bool = False) -> ShardTask:
     index = _expect(_decode(reader, depth), int, "ShardTask.index")
     design = _expect(_decode(reader, depth), str, "ShardTask.design")
     source = _decode(reader, depth)
@@ -374,6 +412,7 @@ def _decode_task(reader: _Reader, depth: int) -> ShardTask:
     if perm_seed is not None and not isinstance(perm_seed, np.random.SeedSequence):
         raise WireError("ShardTask.perm_seed must be a SeedSequence or None")
     cursor = _expect(_decode(reader, depth), int, "ShardTask.cursor")
+    trace = _decode_trace_field(reader, depth, "ShardTask.trace") if traced else None
     return ShardTask(
         index=index,
         design=design,
@@ -383,10 +422,11 @@ def _decode_task(reader: _Reader, depth: int) -> ShardTask:
         rng_state=rng_state,
         perm_seed=perm_seed,
         cursor=cursor,
+        trace=trace,
     )
 
 
-def _decode_result(reader: _Reader, depth: int) -> ShardResult:
+def _decode_result(reader: _Reader, depth: int, *, traced: bool = False) -> ShardResult:
     index = _expect(_decode(reader, depth), int, "ShardResult.index")
     arrays = []
     for name in ("rows", "counts", "sizes", "positions"):
@@ -399,6 +439,7 @@ def _decode_result(reader: _Reader, depth: int) -> ShardResult:
     elapsed = _decode(reader, depth)
     if isinstance(elapsed, bool) or not isinstance(elapsed, (int, float)):
         raise WireError("ShardResult.elapsed must be a number")
+    trace = _decode_trace_field(reader, depth, "ShardResult.trace") if traced else None
     return ShardResult(
         index=index,
         rows=arrays[0],
@@ -408,6 +449,7 @@ def _decode_result(reader: _Reader, depth: int) -> ShardResult:
         rng_state=rng_state,
         cursor=cursor,
         elapsed=float(elapsed),
+        trace=trace,
     )
 
 
@@ -467,6 +509,12 @@ def _decode(reader: _Reader, depth: int):
         return _decode_result(reader, depth + 1)
     if tag == _T_SOURCE:
         return _decode_source(reader, depth + 1)
+    if tag == _T_TRACECTX:
+        return _decode_tracectx(reader, depth + 1)
+    if tag == _T_TASK_TRACED:
+        return _decode_task(reader, depth + 1, traced=True)
+    if tag == _T_RESULT_TRACED:
+        return _decode_result(reader, depth + 1, traced=True)
     raise WireError(f"unknown wire tag {tag}")
 
 

@@ -33,10 +33,14 @@ from collections.abc import Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.kg.triple import Triple
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
 from repro.storage.backend import StorageBackend
 from repro.storage.columnar import ColumnarStore
 
 __all__ = ["DeltaStore"]
+
+_log = get_logger("storage.delta")
 
 
 def _key_view(subjects: np.ndarray, predicates: np.ndarray, objects: np.ndarray) -> np.ndarray:
@@ -427,6 +431,12 @@ class DeltaStore(StorageBackend):
         """
         base_s, base_p, base_o, base_f = self.base.id_columns()
         tail_s, tail_p, tail_o, tail_f = self.tail_arrays()
+        obs_metrics.counter("delta_compactions_total").inc()
+        _log.debug(
+            "compaction",
+            base_triples=self._base_triples,
+            tail_triples=int(tail_s.shape[0]),
+        )
         merged = ColumnarStore.from_arrays(
             self.base.vocab,
             np.concatenate([np.asarray(base_s), tail_s]),

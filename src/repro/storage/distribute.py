@@ -30,6 +30,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+
 __all__ = [
     "csr_digest",
     "pack_array",
@@ -102,7 +104,10 @@ class SnapshotCache:
 
     def has(self, digest: str) -> bool:
         """Whether this cache already holds a complete copy of ``digest``."""
-        return self.path(digest).is_dir()
+        held = self.path(digest).is_dir()
+        name = "snapshot_cache_hits_total" if held else "snapshot_cache_misses_total"
+        obs_metrics.counter(name).inc()
+        return held
 
     def digests(self) -> list[str]:
         """All complete digests currently held, sorted (staging dirs excluded)."""

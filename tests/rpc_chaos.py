@@ -6,7 +6,11 @@ and ``test_rpc_chaos.py``:
 * :class:`WorkerProcess` — one real ``repro worker`` subprocess (listen or
   ``--join`` mode, optional shared secret and per-task delay), with its
   stdout/stderr teed into a log directory so CI can upload worker logs as
-  artifacts when a scenario fails (``REPRO_RPC_LOG_DIR``).
+  artifacts when a scenario fails (``REPRO_RPC_LOG_DIR``).  Every worker
+  also writes structured JSON-lines logs (``<name>.jsonl``, debug level)
+  and exports a metrics snapshot on orderly shutdown (``<name>.metrics.json``)
+  into the same directory; :meth:`WorkerProcess.structured_events` parses
+  the log back for scenario assertions.
 * :class:`ChaosProxy` — a frame-aware TCP proxy wedged between master and
   worker.  Because the wire protocol is a schema'd codec, the proxy can
   *parse* every frame it forwards and inject faults at precise protocol
@@ -71,7 +75,21 @@ class WorkerProcess:
             argv += ["--secret-file", str(secret_path)]
         if task_delay:
             argv += ["--task-delay", str(task_delay)]
-        log_path = _log_dir(self.cache_dir.parent) / f"{self.name}.log"
+        log_dir = _log_dir(self.cache_dir.parent)
+        # Always-on observability: structured logs land next to the teed
+        # stdout/stderr (CI uploads the whole directory), and an orderly
+        # shutdown exports the worker's metrics snapshot.
+        self.json_log_path = log_dir / f"{self.name}.jsonl"
+        self.metrics_path = log_dir / f"{self.name}.metrics.json"
+        argv += [
+            "--log-json",
+            str(self.json_log_path),
+            "--log-level",
+            "debug",
+            "--metrics-out",
+            str(self.metrics_path),
+        ]
+        log_path = log_dir / f"{self.name}.log"
         self._log = open(log_path, "w")
         self.proc = subprocess.Popen(
             argv, stdout=subprocess.PIPE, stderr=self._log, text=True, env=env
@@ -95,6 +113,24 @@ class WorkerProcess:
                 self._log.flush()
         except ValueError:  # log handle closed during stop()
             pass
+
+    def structured_events(self, event: str | None = None) -> list[dict]:
+        """Parse the worker's JSON-lines log, optionally filtered by event."""
+        import json
+
+        if not self.json_log_path.exists():
+            return []
+        records = []
+        for line in self.json_log_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:  # torn final line from a SIGKILL
+                continue
+            if event is None or record.get("event") == event:
+                records.append(record)
+        return records
 
     def kill(self) -> None:
         self.proc.kill()

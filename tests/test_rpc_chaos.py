@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 
 import pytest
 from rpc_chaos import ChaosProxy, WorkerProcess
@@ -154,8 +155,14 @@ def test_corrupted_task_frame_is_caught_by_crc_and_replayed(labelled, tmp_path, 
 @pytest.mark.timeout(180)
 def test_sigkill_mid_task_replays_golden(labelled, tmp_path, golden):
     """SIGKILL while a task is executing: survivors re-execute it identically."""
+    from repro.obs import metrics as obs_metrics
+
     data, labels = labelled
-    survivor = WorkerProcess(tmp_path / "kill-survivor")
+    obs_metrics.reset()  # scope the master-side counters to this scenario
+    # The survivor is throttled a little too, so the run is still in
+    # flight when the timer fires and the master observes the death
+    # (instead of the whole trajectory completing in milliseconds).
+    survivor = WorkerProcess(tmp_path / "kill-survivor", task_delay=0.05)
     victim = WorkerProcess(tmp_path / "kill-victim", task_delay=0.25)
     timer = threading.Timer(0.3, victim.kill)
     try:
@@ -166,6 +173,27 @@ def test_sigkill_mid_task_replays_golden(labelled, tmp_path, golden):
         assert stats["live_nodes"] >= 1
         survivor_stats = next(n for n in stats["nodes"] if n["address"] == survivor.address)
         assert not survivor_stats["dead"]
+        # The master's metrics registry recorded the drop, labeled with the
+        # victim's address — and no other node was ever latched dead.
+        drops = [
+            (entry["labels"]["node"], entry["value"])
+            for entry in obs_metrics.snapshot()["series"]
+            if entry["name"] == "rpc_node_drops_total"
+        ]
+        assert len(drops) == 1, drops
+        assert drops[0][0] == victim.address
+        assert drops[0][1] >= 1.0
+        # The survivor's structured JSON log shows it authenticated and
+        # actually executed shard tasks for this run.
+        survivor.stop()  # orderly SIGTERM also flushes its metrics snapshot
+        assert survivor.structured_events("handshake_ok")
+        assert survivor.structured_events("shard_task")
+        assert survivor.metrics_path.exists()
+        import json
+
+        snapshot = json.loads(survivor.metrics_path.read_text())
+        names = {entry["name"] for entry in snapshot["series"]}
+        assert "rpc_task_service_seconds" in names
     finally:
         timer.cancel()
         survivor.stop()
@@ -196,6 +224,12 @@ def test_wrong_secret_is_rejected_before_any_task_bytes(
         digests = [d for d in os.listdir(worker.cache_dir) if not d.startswith(".")]
         assert digests == []
         assert worker.proc.poll() is None
+        # The rejection left a structured audit record in the worker's log
+        # (written just after the auth_error reply; poll briefly for it).
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and not worker.structured_events("auth_failed"):
+            time.sleep(0.05)
+        assert worker.structured_events("auth_failed")
     finally:
         worker.stop()
 

@@ -14,6 +14,7 @@ import numpy as np
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.obs.trace import TraceContext
 from repro.sampling.parallel import ShardResult, ShardSource, ShardTask
 from repro.sampling.rpc import decode_message, encode_message
 from repro.storage.distribute import (
@@ -46,6 +47,19 @@ def _sources():
     return st.one_of(ranges, rows, csr)
 
 
+def _traces():
+    """Optional trace contexts: the fuzz corpus covers both wire encodings
+    (legacy untraced tags and the traced v2 tags)."""
+    hex_id = st.text(alphabet="0123456789abcdef", min_size=1, max_size=32)
+    return st.one_of(st.none(), st.builds(TraceContext, trace_id=hex_id, span_id=hex_id))
+
+
+def _traces_equal(first, second) -> bool:
+    if first is None or second is None:
+        return (first is None) == (second is None)
+    return first.trace_id == second.trace_id and first.span_id == second.span_id
+
+
 def _tasks():
     return st.builds(
         ShardTask,
@@ -65,6 +79,7 @@ def _tasks():
             st.integers(min_value=0, max_value=2**32 - 1).map(np.random.SeedSequence),
         ),
         cursor=st.integers(min_value=0, max_value=10_000),
+        trace=_traces(),
     )
 
 
@@ -81,6 +96,7 @@ def _results():
         ),
         cursor=st.integers(min_value=0, max_value=10_000),
         elapsed=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        trace=_traces(),
     )
 
 
@@ -123,6 +139,7 @@ def test_task_roundtrip_is_identity(task):
     assert decoded.rng_state == task.rng_state
     assert _seeds_equal(decoded.perm_seed, task.perm_seed)
     assert _sources_equal(decoded.source, task.source)
+    assert _traces_equal(decoded.trace, task.trace)
 
 
 @given(result=_results())
@@ -133,6 +150,7 @@ def test_result_roundtrip_is_identity(result):
     assert decoded.cursor == result.cursor
     assert decoded.elapsed == result.elapsed
     assert decoded.rng_state == result.rng_state
+    assert _traces_equal(decoded.trace, result.trace)
     for name in ("rows", "counts", "sizes", "positions"):
         assert _arrays_equal(getattr(decoded, name), getattr(result, name))
 

@@ -26,8 +26,10 @@ from test_transport_roundtrip import (
     _seeds_equal,
     _sources_equal,
     _tasks,
+    _traces_equal,
 )
 
+from repro.obs.trace import TraceContext
 from repro.sampling import wire
 from repro.sampling.parallel import ShardResult, ShardTask
 from repro.sampling.wire import WireError
@@ -43,6 +45,7 @@ def _tasks_equal(first: ShardTask, second: ShardTask) -> bool:
         and first.rng_state == second.rng_state
         and _seeds_equal(first.perm_seed, second.perm_seed)
         and _sources_equal(first.source, second.source)
+        and _traces_equal(first.trace, second.trace)
     )
 
 
@@ -64,6 +67,7 @@ def test_result_frame_roundtrip(result):
     assert decoded.cursor == result.cursor
     assert decoded.elapsed == result.elapsed
     assert decoded.rng_state == result.rng_state
+    assert _traces_equal(decoded.trace, result.trace)
     for name in ("rows", "counts", "sizes", "positions"):
         assert _arrays_equal(getattr(decoded, name), getattr(result, name))
 
@@ -188,3 +192,69 @@ def test_huge_declared_containers_are_bounded():
     forged = bytes([8]) + (2**31 - 1).to_bytes(4, "big") + b"\x00"
     with pytest.raises(WireError):
         wire.loads(forged)
+
+
+# --------------------------------------------------------------------------- #
+# Trace-context tag: back-compat and forward hostility
+# --------------------------------------------------------------------------- #
+@given(task=_tasks(), result=_results())
+def test_trace_tag_selection_is_exact(task, result):
+    """``trace=None`` keeps the legacy tags (so old peers decode the frame
+    byte-identically); a carried trace switches to the traced tags."""
+    from dataclasses import replace
+
+    task_payload = wire.dumps(task)
+    expected_task = wire._T_TASK if task.trace is None else wire._T_TASK_TRACED
+    assert task_payload[0] == expected_task
+    result_payload = wire.dumps(result)
+    expected_result = wire._T_RESULT if result.trace is None else wire._T_RESULT_TRACED
+    assert result_payload[0] == expected_result
+    # Stripping the trace reproduces the exact legacy byte stream: the
+    # traced encoding is a pure suffix extension, not a re-layout.
+    stripped = wire.dumps(replace(task, trace=None))
+    if task.trace is not None:
+        assert stripped[0] == wire._T_TASK
+        assert task_payload[1 : len(stripped)] == stripped[1:]
+
+
+def test_trace_context_roundtrips_standalone():
+    context = TraceContext(trace_id="cafe" * 4, span_id="beef" * 2)
+    decoded = wire.loads(wire.dumps(context))
+    assert isinstance(decoded, TraceContext)
+    assert decoded == context
+
+
+@settings(max_examples=200)
+@given(
+    tag=st.integers(min_value=wire._T_RESULT_TRACED + 1, max_value=255),
+    junk=st.binary(max_size=64),
+)
+def test_unknown_future_tags_raise_typed_error(tag, junk):
+    """A frame from a *newer* peer (tag beyond this codec's table) fails as
+    a typed WireError immediately — never a hang, never a crash."""
+    with pytest.raises(WireError, match="unknown wire tag"):
+        wire.loads(bytes([tag]) + junk)
+
+
+def test_task_trace_field_must_be_a_trace_context():
+    """A forged traced-task frame whose trace field is some other value dies
+    on the schema check, not inside the constructor."""
+    from repro.sampling.parallel import ShardSource
+
+    task = ShardTask(
+        index=0,
+        design="srs",
+        source=ShardSource(kind="range", lo=0, hi=4),
+        count=1,
+        cap=1,
+        rng_state=None,
+        perm_seed=None,
+        cursor=0,
+    )
+    task_payload = bytearray(wire.dumps(task))
+    assert task_payload[0] == wire._T_TASK
+    task_payload[0] = wire._T_TASK_TRACED
+    # The traced decoder now expects one more field; a truncated or
+    # wrongly-typed tail is a WireError either way.
+    with pytest.raises(WireError):
+        wire.loads(bytes(task_payload))
