@@ -1,22 +1,29 @@
 """Parallel shard-per-CSR-range draw engine vs the serial position surface.
 
 Builds a >=1M-triple synthetic KG on the columnar backend, then times one
-large TWCS draw/estimate loop three ways:
+large TWCS draw/estimate loop four ways:
 
 * **serial design loop** — the single-stream position surface
   (``draw_positions`` / ``update_all_positions``), the PR-1 fast path;
 * **engine, serial** — the sharded engine executing every shard task
   in-process (``workers=None``): the parity reference;
 * **engine, pool** — the same plan fanned across ``REPRO_BENCH_PARALLEL_
-  WORKERS`` processes.
+  WORKERS`` processes;
+* **engine, auto** — the adaptive planner's pick, calibrated from this very
+  run's serial/pool measurements, executed twice: once cold (paying any
+  pool/segment startup) and once warm (adopting the parked keep-alive
+  pool).  The planner is pinned to the same shard count, so its run must
+  be bit-identical to the serial engine whatever transport it picks.
 
-The statistical contract is asserted unconditionally: the pool run must be
-**bit-identical** (estimates and Eq. (4) cost) to the serial engine run, and
-both must agree with the ground truth to sampling accuracy.  The >=2.5x
-speedup assertion against the serial design loop only fires at full scale on
-a machine with at least 4 CPUs, so the CI smoke run (~50k triples, 2
-workers, shared runners) stays a correctness check — mirroring the other
-benchmarks' full-scale gating.
+The statistical contract is asserted unconditionally: the pool and auto
+runs must be **bit-identical** (estimates and Eq. (4) cost) to the serial
+engine run, all must agree with the ground truth to sampling accuracy, and
+the planner's *never-slower-than-serial* invariant is gated at every scale:
+the warm auto run must stay within 10% of the serial engine plus an
+absolute noise floor.  The >=2.5x pool speedup and the >=2x auto-vs-pool
+assertions only fire at full scale on a machine with at least 4 CPUs, so
+the CI smoke run (~50k triples, 2 workers, shared runners) stays a
+correctness check — mirroring the other benchmarks' full-scale gating.
 
 Environment knobs: ``REPRO_BENCH_PARALLEL_TRIPLES`` (default 1_000_000),
 ``REPRO_BENCH_PARALLEL_DRAWS`` (default 200_000 cluster draws),
@@ -57,6 +64,10 @@ _LABEL_SEED = 1
 _DRAW_SEED = 2
 _ACCURACY = 0.9
 _SECOND_STAGE = 5
+# Absolute noise floor for the planner's never-slower-than-serial gate: at
+# smoke scale the loops are sub-second, so the 10% relative bound only binds
+# once runs are long enough to time (same shape as the obs-overhead guard).
+_AUTO_FLOOR_SECONDS = 0.5
 
 
 def _git_sha() -> str | None:
@@ -73,8 +84,16 @@ def _git_sha() -> str | None:
     return probe.stdout.strip() or None if probe.returncode == 0 else None
 
 
+def _available_cpus() -> int:
+    """CPUs this process may actually schedule on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def _run_meta() -> dict:
-    """Host/run provenance stamped into BENCH_parallel.json."""
+    """Host/run provenance stamped into BENCH_parallel.json at run time."""
     return {
         "python": sys.version.split()[0],
         "implementation": platform.python_implementation(),
@@ -116,10 +135,16 @@ def _serial_design_loop(graph, labels) -> dict:
     return {"seconds": elapsed, "estimate": estimate.value, "std_error": estimate.std_error}
 
 
-def _engine_loop(graph, labels, workers) -> dict:
+def _engine_loop(graph, labels, workers, *, transport=None, planner_decision=None) -> dict:
     from repro.sampling.parallel import ParallelSamplingExecutor
 
-    with ParallelSamplingExecutor(graph, workers=workers, num_shards=_SHARDS) as executor:
+    with ParallelSamplingExecutor(
+        graph,
+        workers=None if transport is not None else workers,
+        num_shards=_SHARDS,
+        transport=transport,
+        planner_decision=planner_decision,
+    ) as executor:
         run = executor.run(
             "twcs", labels, seed=_DRAW_SEED, second_stage_size=_SECOND_STAGE
         )
@@ -131,9 +156,12 @@ def _engine_loop(graph, labels, workers) -> dict:
         elapsed = time.perf_counter() - started
         estimate = run.estimate()
         cost = run.cost_summary()
+        width = getattr(transport, "workers", None) or workers or 1
         return {
             "workers": workers or 0,
+            "transport": executor.transport.kind,
             "shards": run.plan.num_shards,
+            "cpus_used": min(int(width), _available_cpus()),
             "seconds": elapsed,
             "estimate": estimate.value,
             "std_error": estimate.std_error,
@@ -144,6 +172,35 @@ def _engine_loop(graph, labels, workers) -> dict:
             "triples_annotated": cost.triples_annotated,
             "shard_stats": run.shard_stats(),
         }
+
+
+def _auto_loop(graph, serial_result, pool_result, labels) -> dict:
+    """Plan from this run's own measurements, then execute cold and warm.
+
+    The profile is calibrated *from the serial/pool legs just timed* — the
+    planner never sees hand-tuned numbers — and the shard count is pinned
+    to ``_SHARDS`` so whatever transport it picks must replay the serial
+    engine's trajectory bit for bit.
+    """
+    from repro.sampling.planner import AdaptivePlanner, CalibrationProfile
+
+    profile = CalibrationProfile()
+    calibrated = profile.calibrate_from_bench(
+        {"draws": _DRAWS, "engine_serial": serial_result, "engine_pool": pool_result}
+    )
+    planner = AdaptivePlanner(profile)
+    decision = planner.plan(graph.backend.stats(), draws=_DRAWS, batch_size=_BATCH, shards=_SHARDS)
+    transport = AdaptivePlanner.build_transport(decision)
+    # Cold pays pool/segment startup; warm adopts the parked keep-alive pool.
+    cold = _engine_loop(graph, labels, None, transport=transport, planner_decision=decision)
+    warm = _engine_loop(graph, labels, None, transport=transport, planner_decision=decision)
+    return {
+        "decision": decision.as_dict(),
+        "calibrated_transports": calibrated,
+        "profile": profile.to_dict(),
+        "cold": cold,
+        "warm": warm,
+    }
 
 
 def _dump_results(payload: dict) -> None:
@@ -166,6 +223,14 @@ def _dump_results(payload: dict) -> None:
     snapshot = {"meta": payload.get("meta", {}), "series": payload["metrics"]["series"]}
     with open(target / "bench_parallel_metrics.json", "w", encoding="utf-8") as handle:
         json.dump(snapshot, handle, indent=2)
+    # The calibration profile the planner derived from this run, in the exact
+    # format `repro planner calibrate` writes — uploaded as a CI artifact so a
+    # production profile can be seeded from benchmark hardware.
+    auto = payload.get("engine_auto")
+    if auto:
+        with open(target / "planner_profile.json", "w", encoding="utf-8") as handle:
+            json.dump(auto["profile"], handle, indent=2)
+            handle.write("\n")
 
 
 def test_parallel_draw_loop(benchmark):
@@ -184,11 +249,15 @@ def test_parallel_draw_loop(benchmark):
             "num_entities": graph.num_entities,
             "draws": _DRAWS,
             "cpu_count": os.cpu_count(),
+            "cpus_available": _available_cpus(),
             "serial_design": _serial_design_loop(graph, labels),
             "engine_serial": _engine_loop(graph, labels, workers=None),
             "engine_pool": _engine_loop(graph, labels, workers=_WORKERS),
             "true_accuracy": float(labels.mean()),
         }
+        payload["engine_auto"] = _auto_loop(
+            graph, payload["engine_serial"], payload["engine_pool"], labels
+        )
         payload["metrics"] = obs_metrics.snapshot()
         return payload
 
@@ -198,17 +267,21 @@ def test_parallel_draw_loop(benchmark):
     serial = results["serial_design"]
     engine = results["engine_serial"]
     pool = results["engine_pool"]
+    auto = results["engine_auto"]
     speedup = serial["seconds"] / pool["seconds"]
     engine_speedup = engine["seconds"] / pool["seconds"]
     emit(
         f"Parallel sharded TWCS draw loop ({results['num_triples']:,} triples, "
         f"{results['draws']:,} draws, {pool['shards']} shards, "
-        f"{_WORKERS} workers, {results['cpu_count']} CPUs)",
+        f"{_WORKERS} workers, {results['cpus_available']} CPUs usable)",
         "\n".join(
             [
                 f"{'serial design loop s':28}{serial['seconds']:>10.2f}",
                 f"{'engine serial s':28}{engine['seconds']:>10.2f}",
                 f"{'engine pool s':28}{pool['seconds']:>10.2f}",
+                f"{'engine auto cold s':28}{auto['cold']['seconds']:>10.2f}",
+                f"{'engine auto warm s':28}{auto['warm']['seconds']:>10.2f}",
+                f"{'planner picked':28}{auto['decision']['transport']:>10}",
                 f"{'speedup vs design loop':28}{speedup:>9.1f}x",
                 f"{'speedup vs engine serial':28}{engine_speedup:>9.1f}x",
                 f"{'estimate (pool)':28}{pool['estimate']:>10.4f}",
@@ -221,8 +294,9 @@ def test_parallel_draw_loop(benchmark):
         ),
     )
 
-    # The determinism contract always holds: pool == serial engine, bit for bit.
-    for key in (
+    # The determinism contract always holds: pool and both auto runs replay
+    # the serial engine bit for bit.
+    compared_keys = (
         "estimate",
         "std_error",
         "num_units",
@@ -230,16 +304,34 @@ def test_parallel_draw_loop(benchmark):
         "cost_seconds",
         "entities_identified",
         "triples_annotated",
-    ):
+    )
+    for key in compared_keys:
         assert pool[key] == engine[key], key
-    # All three estimators agree with the truth to sampling accuracy.
-    for estimate in (serial["estimate"], pool["estimate"]):
+    for leg in (auto["cold"], auto["warm"]):
+        for key in compared_keys:
+            assert leg[key] == engine[key], f"auto/{leg['transport']}: {key}"
+    # All estimators agree with the truth to sampling accuracy.
+    for estimate in (serial["estimate"], pool["estimate"], auto["warm"]["estimate"]):
         assert abs(estimate - results["true_accuracy"]) < 0.01
 
-    if results["num_triples"] >= _FULL_SCALE and (os.cpu_count() or 1) >= max(4, _WORKERS):
+    # Planner invariant, gated at EVERY scale: the planned configuration is
+    # never slower than the serial engine beyond noise (10% + absolute floor).
+    auto_budget = engine["seconds"] * 1.10 + _AUTO_FLOOR_SECONDS
+    assert auto["warm"]["seconds"] <= auto_budget, (
+        f"planner pick '{auto['decision']['transport']}' took "
+        f"{auto['warm']['seconds']:.3f}s warm, budget {auto_budget:.3f}s "
+        f"(engine serial {engine['seconds']:.3f}s)"
+    )
+
+    if results["num_triples"] >= _FULL_SCALE and _available_cpus() >= max(4, _WORKERS):
         assert speedup >= 2.5, (
             f"parallel draw-loop speedup {speedup:.1f}x below the 2.5x target "
             f"({_WORKERS} workers)"
+        )
+        auto_vs_pool = pool["seconds"] / auto["warm"]["seconds"]
+        assert auto_vs_pool >= 2.0, (
+            f"planner pick '{auto['decision']['transport']}' only "
+            f"{auto_vs_pool:.2f}x faster than the pool transport at full scale"
         )
 
 

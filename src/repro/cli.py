@@ -30,7 +30,12 @@ Five commands cover the common workflows:
   host1:p1,host2:p2`` (plus ``--secret-file`` and ``--accept-joins`` for
   authenticated/elastic clusters) — trajectories are bit-identical to
   ``--workers`` (pool) and ``--workers 0`` (serial) runs with the same
-  ``--shards``.
+  ``--shards``;
+* ``planner`` — inspect (``show``) or regenerate (``calibrate``) the adaptive
+  transport planner's calibration profile.  ``evaluate``/``monitor`` default
+  to ``--transport auto``: the planner picks serial, a warm pool, the
+  shared-memory transport or RPC from measured graph stats and the profile,
+  never slower than serial beyond noise (see ``docs/planner.md``).
 
 Examples
 --------
@@ -192,12 +197,13 @@ def _load_cli_secret(args: argparse.Namespace):
 
 
 def _build_transport(args: argparse.Namespace):
-    """Resolve ``--transport``/``--nodes``/``--workers`` into a ShardTransport.
+    """Resolve an *explicit* ``--transport`` choice into a ShardTransport.
 
-    Returns ``None`` when no ``--transport`` was given — the executor then
-    falls back to its historical ``workers=`` shorthand.
+    Returns ``None`` for ``auto`` (the adaptive planner decides separately,
+    see :func:`_plan_transport`) and for the legacy bare ``--workers``
+    shorthand (the executor then builds its own pool).
     """
-    if args.transport is None:
+    if args.transport in (None, "auto"):
         return None
     if args.transport == "rpc":
         from repro.sampling.rpc import SocketRPCTransport
@@ -220,17 +226,59 @@ def _build_transport(args: argparse.Namespace):
     if args.transport == "pool":
         workers = args.workers or ParallelSamplingExecutor.default_workers()
         return ProcessPoolTransport(workers)
+    if args.transport == "shm":
+        from repro.sampling.shm import SharedMemoryTransport
+
+        workers = args.workers or ParallelSamplingExecutor.default_workers()
+        return SharedMemoryTransport(workers)
     return SerialTransport()
 
 
-def _resolve_parallel(args: argparse.Namespace):
-    """Resolve the sharded-engine execution options into ``(transport, shards)``.
+def _plan_transport(args: argparse.Namespace, graph, draws_hint: int | None):
+    """``--transport auto``: let the adaptive planner pick the configuration.
 
-    One code path for ``evaluate`` and ``monitor``: the shard count — part
-    of a run's random-stream identity — defaults to the transport's natural
-    width (pool worker count, RPC node count) and only then to
-    ``max(workers, 1)``.
+    Returns ``(transport, decision, profile)``; the profile is kept around
+    so the run's measured wall-clock can be folded back into it afterwards
+    (see ``docs/planner.md``).
     """
+    from repro.sampling.planner import AdaptivePlanner, load_profile
+
+    profile = load_profile(getattr(args, "profile", None))
+    planner = AdaptivePlanner(profile)
+    nodes = [node.strip() for node in (getattr(args, "nodes", "") or "").split(",") if node.strip()]
+    decision = planner.plan(
+        graph.backend.stats(),
+        draws=draws_hint,
+        shards=args.shards,
+        nodes=len(nodes),
+        rpc_window=args.rpc_window if nodes else None,
+    )
+    transport = AdaptivePlanner.build_transport(
+        decision,
+        nodes=nodes,
+        secret=_load_cli_secret(args),
+        join_address=getattr(args, "accept_joins", None),
+    )
+    if getattr(transport, "join_address", None) is not None:
+        print(f"accepting worker joins on {transport.join_address}", flush=True)
+    return transport, decision, profile
+
+
+def _resolve_parallel(args: argparse.Namespace, graph=None, draws_hint: int | None = None):
+    """Resolve the sharded-engine options into ``(transport, shards, decision)``.
+
+    One code path for ``evaluate`` and ``monitor``.  Under ``--transport
+    auto`` (the default) with no ``--workers`` pin, the adaptive planner
+    chooses transport + shard count from the graph's measured stats and the
+    calibration profile; ``decision`` then carries the reasoning.  In every
+    mode the shard count — part of a run's random-stream identity — obeys
+    ``--shards`` first, then the transport's natural width (pool worker
+    count, RPC node count), then ``max(workers, 1)``.
+    """
+    if args.transport == "auto" and args.workers is None and graph is not None:
+        transport, decision, profile = _plan_transport(args, graph, draws_hint)
+        shards = args.shards if args.shards is not None else decision.shards
+        return transport, shards, (decision, profile)
     transport = _build_transport(args)
     if args.shards is not None:
         shards = args.shards
@@ -238,13 +286,15 @@ def _resolve_parallel(args: argparse.Namespace):
         shards = transport.default_shards
     else:
         shards = max(args.workers or 1, 1)
-    return transport, shards
+    return transport, shards, None
 
 
-def _transport_label(args: argparse.Namespace) -> str:
+def _transport_label(args: argparse.Namespace, decision=None) -> str:
+    if decision is not None:
+        return f"auto:{decision.transport}"
     if args.transport == "rpc":
         return f"rpc[{len(_parse_nodes(args))} nodes]"
-    if args.transport is not None:
+    if args.transport not in (None, "auto"):
         return args.transport
     return "pool" if args.workers else "serial"
 
@@ -279,21 +329,31 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate_parallel(args: argparse.Namespace, data: LabelledKG) -> int:
-    """``evaluate --workers N``: the sharded position-surface draw engine.
+    """``evaluate`` on the sharded position-surface draw engine.
 
-    Runs the same iterative evaluation on integer positions and boolean label
-    arrays, fanned across ``N`` worker processes (``--workers 0`` executes the
-    sharded plan serially in-process — the parity reference).  For a fixed
-    ``--shards`` the estimates are bit-identical for every worker count.
+    Runs the iterative evaluation on integer positions and boolean label
+    arrays.  ``--transport auto`` (the default) lets the adaptive planner
+    pick the transport and shard count from the graph's measured stats and
+    the calibration profile; ``--workers N`` / an explicit ``--transport``
+    force a configuration.  For a fixed ``--shards`` the estimates are
+    bit-identical for every transport and worker count.
     """
+    import time
+
     import numpy as np
 
     from repro.sampling.parallel import ParallelSamplingExecutor
 
     graph = data.graph
     labels = data.oracle.as_position_array(graph)
-    transport, shards = _resolve_parallel(args)
     config = EvaluationConfig(moe_target=args.moe, confidence_level=args.confidence)
+    draws_hint = None
+    if args.transport == "auto" and args.workers is None:
+        from repro.sampling.planner import AdaptivePlanner
+
+        draws_hint = AdaptivePlanner.draws_for_target(args.moe, args.confidence)
+    transport, shards, planned = _resolve_parallel(args, graph, draws_hint)
+    decision, profile = planned if planned is not None else (None, None)
     strata_rows = None
     if args.design == "twcs-strat":
         strata = stratify_by_size(graph, num_strata=4)
@@ -310,6 +370,7 @@ def _cmd_evaluate_parallel(args: argparse.Namespace, data: LabelledKG) -> int:
         workers=None if transport is not None else (args.workers or None),
         num_shards=shards,
         transport=transport,
+        planner_decision=decision,
     ) as executor:
         run = executor.run(
             args.design if args.design != "twcs-strat" else "twcs",
@@ -319,8 +380,23 @@ def _cmd_evaluate_parallel(args: argparse.Namespace, data: LabelledKG) -> int:
             strata=strata_rows,
             allocation=args.allocation if args.design == "twcs-strat" else "proportional",
         )
+        started = time.perf_counter()
         estimate, iterations = run.drive(config)
+        elapsed = time.perf_counter() - started
         cost = run.cost_summary()
+    if decision is not None and profile is not None:
+        # Fold the measured wall-clock back into the calibration profile so
+        # the next planning decision starts from this run's reality.
+        from repro.sampling.planner import save_profile
+
+        profile.observe(
+            decision.transport,
+            draws=estimate.num_units,
+            rounds=run.rounds,
+            seconds=elapsed,
+            workers=decision.workers,
+        )
+        save_profile(profile, getattr(args, "profile", None))
     satisfied = estimate.num_units >= config.min_units and estimate.satisfies(
         config.moe_target, config.confidence_level
     )
@@ -328,8 +404,10 @@ def _cmd_evaluate_parallel(args: argparse.Namespace, data: LabelledKG) -> int:
     print(f"dataset            : {data.name}")
     print(
         f"design             : {args.design} (m={args.second_stage_size}, "
-        f"shards={run.plan.num_shards}, transport={_transport_label(args)})"
+        f"shards={run.plan.num_shards}, transport={_transport_label(args, decision)})"
     )
+    if decision is not None:
+        print(f"planner            : {decision.transport} — {decision.reason}")
     print(f"true accuracy      : {data.true_accuracy:.1%} (hidden from the estimator)")
     print(f"estimated accuracy : {estimate.value:.1%}")
     print(f"{args.confidence:.0%} interval     : [{interval.lower:.1%}, {interval.upper:.1%}]")
@@ -409,7 +487,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         "ss": StratifiedIncrementalEvaluator,
         "baseline": BaselineEvolvingEvaluator,
     }
-    parallel_requested = args.workers is not None or args.transport is not None
+    parallel_requested = args.workers is not None or args.transport not in (None, "auto")
     if parallel_requested and surface != "position":
         raise SystemExit(
             "--workers/--transport requires the position surface: use "
@@ -417,13 +495,30 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         )
     config = _Config(moe_target=args.moe, confidence_level=args.confidence)
     extra = {}
+    decision = None
     if parallel_requested:
-        transport, shards = _resolve_parallel(args)
+        transport, shards, _planned = _resolve_parallel(args)
         extra = {"num_shards": shards}
         if transport is not None:
             extra["transport"] = transport
         else:
             extra["workers"] = args.workers
+    elif args.transport == "auto" and surface == "position":
+        # Adaptive default: plan from the base graph's measured stats.  A
+        # serial verdict keeps the classic single-stream position surface
+        # (zero engine overhead, historical trajectories); a parallel
+        # verdict routes the draw loops through the sharded engine.
+        from repro.sampling.planner import AdaptivePlanner
+
+        draws_hint = AdaptivePlanner.draws_for_target(args.moe, args.confidence)
+        transport, shards, planned = _resolve_parallel(args, data.graph, draws_hint)
+        if planned is not None:
+            decision = planned[0]
+            if decision.transport != "serial":
+                extra = {"num_shards": shards, "transport": transport}
+            elif transport is not None:
+                transport.close()
+    engine_engaged = parallel_requested or "transport" in extra
     evaluator = evaluator_classes[args.evaluator](
         data,
         config=config,
@@ -440,9 +535,11 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         args.batches, batch_size, args.update_accuracy
     ):
         monitor.apply_update(batch, batch_oracle)
-    if parallel_requested:
+    if engine_engaged:
         evaluator.close()
 
+    if decision is not None:
+        print(f"planner  : {decision.transport} — {decision.reason}")
     print(f"evaluator: {args.evaluator} ({surface} surface, {args.backend} backend)")
     print("batch  estimate  truth   MoE    batch-cost(h)  total-cost(h)")
     for record in monitor.records:
@@ -582,6 +679,35 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_planner(args: argparse.Namespace) -> int:
+    """``repro planner show|calibrate``: inspect/regenerate the calibration profile."""
+    import json
+
+    from repro.sampling.planner import default_profile_path, load_profile, save_profile
+
+    path = args.profile or default_profile_path()
+    profile = load_profile(args.profile)
+    if args.planner_command == "show":
+        print(f"profile  : {path}")
+        print(json.dumps(profile.to_dict(), indent=2))
+        return 0
+    # calibrate — fold one or more BENCH_parallel.json payloads in.
+    updated: list[str] = []
+    for bench_file in args.bench:
+        try:
+            with open(bench_file, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read benchmark results {bench_file}: {exc}") from exc
+        updated.extend(profile.calibrate_from_bench(payload))
+    written = save_profile(profile, args.profile)
+    if written is None:
+        raise SystemExit(f"cannot write calibration profile to {path}")
+    print(f"profile  : {written}")
+    print(f"updated  : {', '.join(updated) if updated else 'nothing (no usable legs)'}")
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # Observability wiring
 # --------------------------------------------------------------------------- #
@@ -695,6 +821,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Efficient knowledge-graph accuracy evaluation (VLDB 2019 reproduction).",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Full documentation lives in docs/:\n"
+            "  docs/architecture.md   layer-by-layer system walkthrough\n"
+            "  docs/wire-protocol.md  RPC protocol v2 frames, tags, handshake\n"
+            "  docs/operations.md     cluster runbook (workers, joins, metrics)\n"
+            "  docs/planner.md        adaptive transport planner + calibration"
+        ),
     )
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
@@ -752,17 +886,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         default=None,
-        help="shard count for --workers/--transport runs (default max(workers, 1) "
-        "or the node count); part of the run's random-stream identity",
+        help="shard count for --workers/--transport runs (default: planner "
+        "decision, max(workers, 1) or the node count); part of the run's "
+        "random-stream identity",
     )
     evaluate.add_argument(
         "--transport",
-        choices=("serial", "pool", "rpc"),
+        choices=("auto", "serial", "pool", "shm", "rpc"),
+        default="auto",
+        help="execution transport for the sharded engine: 'auto' (default — "
+        "the adaptive planner picks from measured graph stats and the "
+        "calibration profile, see docs/planner.md), 'serial' (in-process "
+        "reference), 'pool' (local worker processes), 'shm' (shared-memory "
+        "CSR views + warm worker pool), 'rpc' (remote worker nodes via "
+        "--nodes); trajectories are bit-identical across transports for a "
+        "fixed --shards",
+    )
+    evaluate.add_argument(
+        "--profile",
         default=None,
-        help="execution transport for the sharded engine: 'serial' (in-process "
-        "reference), 'pool' (local worker processes), 'rpc' (remote worker "
-        "nodes via --nodes); trajectories are bit-identical across transports "
-        "for a fixed --shards",
+        help="planner calibration profile path for --transport auto "
+        "(default ~/.cache/repro/planner.json or $REPRO_PLANNER_PROFILE)",
     )
     _add_rpc_options(evaluate)
     _add_obs_options(evaluate)
@@ -854,15 +998,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards",
         type=int,
         default=None,
-        help="shard count for --workers/--transport runs (default max(workers, 1) "
-        "or the node count)",
+        help="shard count for --workers/--transport runs (default: planner "
+        "decision, max(workers, 1) or the node count)",
     )
     monitor.add_argument(
         "--transport",
-        choices=("serial", "pool", "rpc"),
-        default=None,
+        choices=("auto", "serial", "pool", "shm", "rpc"),
+        default="auto",
         help="execution transport for the sharded draw loops (see `evaluate "
-        "--transport`); requires --backend columnar with --evaluator rs or ss",
+        "--transport`; 'auto' plans adaptively on the position surface and "
+        "keeps the classic loop otherwise); explicit transports require "
+        "--backend columnar with --evaluator rs or ss",
+    )
+    monitor.add_argument(
+        "--profile",
+        default=None,
+        help="planner calibration profile path for --transport auto "
+        "(default ~/.cache/repro/planner.json or $REPRO_PLANNER_PROFILE)",
     )
     _add_rpc_options(monitor)
     _add_obs_options(monitor)
@@ -934,6 +1086,38 @@ def build_parser() -> argparse.ArgumentParser:
         "worker snapshots; node-less series inherit each file's node id)",
     )
 
+    planner = subparsers.add_parser(
+        "planner",
+        help="inspect or recalibrate the adaptive transport planner profile",
+    )
+    planner_sub = planner.add_subparsers(dest="planner_command", required=True)
+    planner_show = planner_sub.add_parser(
+        "show", help="print the active calibration profile as JSON"
+    )
+    planner_show.add_argument(
+        "--profile",
+        default=None,
+        help="profile path (default ~/.cache/repro/planner.json or "
+        "$REPRO_PLANNER_PROFILE)",
+    )
+    planner_calibrate = planner_sub.add_parser(
+        "calibrate",
+        help="regenerate per-transport cost coefficients from benchmark "
+        "results (BENCH_parallel.json)",
+    )
+    planner_calibrate.add_argument(
+        "--bench",
+        nargs="+",
+        required=True,
+        help="one or more BENCH_parallel.json payloads to calibrate from",
+    )
+    planner_calibrate.add_argument(
+        "--profile",
+        default=None,
+        help="profile path to write (default ~/.cache/repro/planner.json or "
+        "$REPRO_PLANNER_PROFILE)",
+    )
+
     experiment = subparsers.add_parser(
         "experiment", parents=[common], help="regenerate one of the paper's tables/figures"
     )
@@ -955,6 +1139,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "worker": _cmd_worker,
         "metrics": _cmd_metrics,
+        "planner": _cmd_planner,
     }
     handler = handlers.get(args.command)
     if handler is None:

@@ -85,6 +85,7 @@ def reset() -> None:
 
 
 def is_enabled(level: str = "info") -> bool:
+    """Whether a record at ``level`` would currently be written anywhere."""
     return LEVELS.get(level, _OFF) >= _state.level and _state.sink is not None
 
 
@@ -112,9 +113,11 @@ class StructLogger:
         self.component = component
 
     def enabled_for(self, level: str) -> bool:
+        """Guard for callers that build expensive log fields."""
         return is_enabled(level)
 
     def log(self, level: str, event: str, **fields) -> None:
+        """Write one structured record; a no-op unless configured at ``level``."""
         numeric = LEVELS.get(level)
         if numeric is None:
             raise ValueError(f"unknown log level {level!r}")
@@ -153,4 +156,9 @@ class StructLogger:
 
 
 def get_logger(component: str) -> StructLogger:
+    """The logging facade for ``component`` (e.g. ``"rpc.master"``).
+
+    Cheap and import-time safe: records go nowhere until :func:`configure`
+    turns the process sink on.
+    """
     return StructLogger(component)

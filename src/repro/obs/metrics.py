@@ -289,28 +289,35 @@ _default = MetricsRegistry()
 
 
 def registry() -> MetricsRegistry:
+    """The process-default registry (what the module-level helpers record into)."""
     return _default
 
 
 def counter(name: str, **labels) -> Counter:
+    """The default registry's counter series for ``(name, labels)``."""
     return _default.counter(name, **labels)
 
 
 def gauge(name: str, **labels) -> Gauge:
+    """The default registry's gauge series for ``(name, labels)``."""
     return _default.gauge(name, **labels)
 
 
 def histogram(name: str, *, buckets=DEFAULT_BUCKETS, **labels) -> Histogram:
+    """The default registry's histogram series for ``(name, labels)``."""
     return _default.histogram(name, buckets=buckets, **labels)
 
 
 def snapshot() -> dict:
+    """JSON-ready dump of every series in the default registry."""
     return _default.snapshot()
 
 
 def export(path, *, meta: dict | None = None) -> dict:
+    """Write the default registry's snapshot (plus ``meta``) to ``path``."""
     return _default.export(path, meta=meta)
 
 
 def reset() -> None:
+    """Drop every series in the default registry (test/benchmark scoping)."""
     _default.reset()

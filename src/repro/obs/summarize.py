@@ -47,6 +47,7 @@ def load_snapshot(path) -> dict:
 
 
 def merge_files(paths) -> dict:
+    """Load and merge snapshot files into one combined snapshot payload."""
     return merge_snapshots(load_snapshot(path) for path in paths)
 
 

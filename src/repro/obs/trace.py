@@ -64,6 +64,7 @@ def enable(trace_id: str | None = None) -> str:
 
 
 def disable() -> None:
+    """Turn tracing off and drop any open span stack."""
     global _enabled, _trace_id
     _enabled = False
     _trace_id = None
@@ -71,10 +72,12 @@ def disable() -> None:
 
 
 def enabled() -> bool:
+    """Whether spans are currently being recorded."""
     return _enabled
 
 
 def trace_id() -> str | None:
+    """The active trace id, or ``None`` when tracing is off."""
     return _trace_id
 
 

@@ -63,6 +63,7 @@ Labels never leave the master.
 
 from __future__ import annotations
 
+import atexit
 import math
 import multiprocessing
 import os
@@ -102,6 +103,7 @@ __all__ = [
     "ShardTransport",
     "SerialTransport",
     "ProcessPoolTransport",
+    "shutdown_warm_pools",
 ]
 
 #: Designs the engine can fan out (plus ``"twcs-strat"`` via ``strata=``).
@@ -429,6 +431,10 @@ class ShardTransport(ABC):
     construction and are enforced by the parity suites.
     """
 
+    #: Stable short name for planner decisions, shard stats and metrics
+    #: labels (``"serial"``, ``"pool"``, ``"shm"``, ``"rpc"``).
+    kind = "unknown"
+
     def bind(
         self,
         offsets: np.ndarray,
@@ -475,9 +481,31 @@ class SerialTransport(ShardTransport):
     ``transport``.
     """
 
+    kind = "serial"
+
     def execute(self, tasks: list[ShardTask]) -> list[ShardResult]:
         attached = (self._offsets, self._positions)
         return [_run_task(task, attached) for task in tasks]
+
+
+#: Parked keep-alive pools awaiting adoption, keyed by
+#: ``ProcessPoolTransport._warm_key()``.  The parked entry keeps its
+#: ``_ATTACH_REGISTRY`` reference, so the CSR arrays a warm pool's forked
+#: workers attached to stay pinned (and their ``id()`` keys unambiguous)
+#: until the pool is adopted or shut down.
+_WARM_POOLS: dict[tuple, tuple[ProcessPoolExecutor, str | None]] = {}
+
+
+def shutdown_warm_pools() -> None:
+    """Shut down every parked keep-alive worker pool (also runs at exit)."""
+    while _WARM_POOLS:
+        _, (pool, attach_key) = _WARM_POOLS.popitem()
+        pool.shutdown(wait=True)
+        if attach_key is not None:
+            _ATTACH_REGISTRY.pop(attach_key, None)
+
+
+atexit.register(shutdown_warm_pools)
 
 
 class ProcessPoolTransport(ShardTransport):
@@ -488,12 +516,23 @@ class ProcessPoolTransport(ShardTransport):
     with a snapshot directory, or by receiving the arrays once per worker
     under ``spawn``.  The pool is created lazily on the first round and can
     be re-created after :meth:`close`.
+
+    With ``keep_alive=True`` (what the adaptive planner requests),
+    :meth:`close` *parks* the live pool in a module registry instead of
+    shutting it down, and a later :meth:`bind` to the **same** CSR index
+    (same array objects or the same snapshot directory, same worker count)
+    adopts it back — so repeated runs over one resident graph pay the fork
+    startup exactly once per process.  Binding to a different index always
+    tears the pool down first; correctness never depends on adoption.
     """
 
-    def __init__(self, workers: int) -> None:
+    kind = "pool"
+
+    def __init__(self, workers: int, *, keep_alive: bool = False) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         self.workers = int(workers)
+        self.keep_alive = bool(keep_alive)
         self._pool: ProcessPoolExecutor | None = None
         self._attach_key: str | None = None
 
@@ -501,12 +540,27 @@ class ProcessPoolTransport(ShardTransport):
     def default_shards(self) -> int | None:
         return self.workers
 
+    def _warm_key(self) -> tuple:
+        """Identity of (worker count, attached CSR index) for pool reuse.
+
+        Array ``id()`` is unambiguous here because a parked pool's registry
+        entry pins the arrays for as long as the key can be looked up.
+        """
+        if self._snapshot is not None:
+            return ("pool", self.workers, "snapshot", self._snapshot)
+        return ("pool", self.workers, id(self._offsets), id(self._positions))
+
     def bind(self, offsets, positions, *, snapshot=None) -> None:
         # A live pool's workers attached to the previously bound index; tear
-        # it down so re-binding (a second executor reusing this transport)
-        # can never execute tasks against stale arrays.
+        # it down (or park it, when keep-alive) so re-binding can never
+        # execute tasks against stale arrays.
         self.close()
         super().bind(offsets, positions, snapshot=snapshot)
+        if self.keep_alive:
+            parked = _WARM_POOLS.pop(self._warm_key(), None)
+            if parked is not None:
+                self._pool, self._attach_key = parked
+                obs_metrics.counter("sampling_warm_pool_reuse_total", kind=self.kind).inc()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -539,6 +593,16 @@ class ProcessPoolTransport(ShardTransport):
         return [future.result() for future in futures]
 
     def close(self) -> None:
+        bound = getattr(self, "_offsets", None) is not None
+        if self._pool is not None and self.keep_alive and bound:
+            key = self._warm_key()
+            if key not in _WARM_POOLS:
+                # Park the pool (keeping its registry attachment pinned) for
+                # the next transport bound to the same index.
+                _WARM_POOLS[key] = (self._pool, self._attach_key)
+                self._pool = None
+                self._attach_key = None
+                return
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -933,11 +997,14 @@ class SamplingRun:
         """Per-shard draw statistics — the single source of truth for them.
 
         Benchmarks (``BENCH_parallel.json``), exported metrics snapshots and
-        the future adaptive transport planner all read this one structure:
-        per shard, the units and triples drawn, the number of executed tasks
-        and the cumulative worker-side draw seconds (plus the mean per task).
+        the adaptive transport planner's calibration all read this one
+        structure: per shard, the units and triples drawn, the number of
+        executed tasks, the cumulative worker-side draw seconds (plus the
+        mean per task), and the transport kind that executed the shard —
+        i.e. what the planner actually chose for the run.
         """
         stats = []
+        transport_kind = self._executor.transport.kind
         for index in range(len(self._sources)):
             tasks = int(self._shard_tasks[index])
             seconds = float(self._shard_seconds[index])
@@ -949,9 +1016,15 @@ class SamplingRun:
                     "tasks": tasks,
                     "draw_seconds": seconds,
                     "mean_task_seconds": seconds / tasks if tasks else 0.0,
+                    "transport": transport_kind,
                 }
             )
         return stats
+
+    @property
+    def planner_decision(self):
+        """The planner decision that configured this run's executor (or None)."""
+        return self._executor.planner_decision
 
     @property
     def num_units(self) -> int:
@@ -1014,6 +1087,11 @@ class ParallelSamplingExecutor:
         The executor binds it to the population's CSR index and owns it:
         :meth:`close` closes the transport.  Mutually exclusive with
         ``workers``.
+    planner_decision:
+        Optional :class:`~repro.sampling.planner.PlannerDecision` recorded
+        when the adaptive planner chose this executor's configuration;
+        surfaced through :meth:`SamplingRun.shard_stats` and report
+        printing.  Never feeds the draw streams.
     """
 
     def __init__(
@@ -1024,6 +1102,7 @@ class ParallelSamplingExecutor:
         num_shards: int | None = None,
         snapshot: str | Path | None = None,
         transport: ShardTransport | None = None,
+        planner_decision=None,
     ) -> None:
         if graph is None and snapshot is None:
             raise ValueError("either graph or snapshot is required")
@@ -1049,6 +1128,7 @@ class ParallelSamplingExecutor:
                 else SerialTransport()
             )
         self.transport = transport
+        self.planner_decision = planner_decision
         self.transport.bind(self.offsets, self.positions, snapshot=self.snapshot)
         self._bind_generation = transport.bind_generation
         if num_shards is not None:

@@ -813,6 +813,8 @@ class SocketRPCTransport(ShardTransport):
     (:class:`RPCAuthError` when authentication was the cause).
     """
 
+    kind = "rpc"
+
     def __init__(
         self,
         nodes=(),
@@ -852,6 +854,7 @@ class SocketRPCTransport(ShardTransport):
 
     @property
     def default_shards(self) -> int | None:
+        """Natural shard count: one shard per configured node."""
         return len(self._nodes) or None
 
     @property
@@ -866,6 +869,7 @@ class SocketRPCTransport(ShardTransport):
     # Binding and snapshot packaging
     # ------------------------------------------------------------------ #
     def bind(self, offsets, positions, *, snapshot=None) -> None:
+        """Attach to a CSR index; nodes catch up lazily by content address."""
         super().bind(offsets, positions, snapshot=snapshot)
         self._digest = None
         self._package = None
@@ -984,6 +988,13 @@ class SocketRPCTransport(ShardTransport):
         raise RPCError(f"no live worker nodes remain ({errors})")
 
     def execute(self, tasks: list[ShardTask]) -> list[ShardResult]:
+        """Stream one round's tasks across the fleet; results in task order.
+
+        Each live node drains its own in-flight window on a dedicated
+        thread; dropped nodes' unacknowledged tasks are requeued for the
+        survivors, and idle nodes steal slots stuck in slow nodes'
+        windows — always bit-identical, whoever executes.
+        """
         results: list[ShardResult | None] = [None] * len(tasks)
         pending: deque[int] = deque(range(len(tasks)))
         queued: set[int] = set(pending)

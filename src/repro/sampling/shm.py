@@ -1,0 +1,236 @@
+"""Shared-memory shard transport: zero-serialization CSR views on one host.
+
+:class:`SharedMemoryTransport` is the planner's single-host latency attack.
+On :meth:`~repro.sampling.parallel.ShardTransport.bind` it copies the frozen
+CSR index once into named ``multiprocessing.shared_memory`` segments; worker
+processes then map those segments directly and build zero-copy
+``numpy.ndarray`` views over them — no per-task array pickling, no
+copy-on-write page faults, and (unlike the fork-pool registry) no coupling
+between the pool's lifetime and any particular graph:
+
+* the *attachment descriptor* (segment names, dtypes, shapes) travels with
+  every task, so one warm pool serves successive binds to different graphs;
+* workers keep a small bounded cache of attached segments keyed by segment
+  name, so successive rounds over the same graph attach exactly once;
+* with ``keep_alive=True`` (the default — this transport exists to be
+  reused) :meth:`close` parks the worker pool in a module registry and the
+  next transport for the same worker count adopts it, skipping process
+  startup entirely.
+
+The segments hold only the public CSR index (offsets + positions) — labels
+never enter shared memory, mirroring the other transports' trust model.
+
+Determinism: workers run the same pure
+:func:`~repro.sampling.parallel._run_task` draw core over the mapped views,
+so trajectories are bit-identical to every other transport for a fixed
+shard count (enforced by the parity suites).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger
+from repro.sampling.parallel import (
+    ShardResult,
+    ShardTask,
+    ShardTransport,
+    _run_task,
+)
+
+__all__ = ["SharedMemoryTransport", "shutdown_warm_pools"]
+
+_log = get_logger("sampling.shm")
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without registering it for cleanup.
+
+    The master owns segment lifetime (it unlinks on close).  Worker-side
+    resource tracking would try to unlink the same name again at worker
+    exit and emit spurious "leaked shared_memory" warnings on 3.11/3.12,
+    so attachments opt out of tracking where the API allows it and
+    unregister manually otherwise.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track= parameter
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        return segment
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+#: Worker-side cache of attached CSR views keyed by the descriptor key; a
+#: warm pool re-attaches only when it meets a graph it has not seen lately.
+_ATTACH_CACHE: "OrderedDict[str, tuple[list, tuple[np.ndarray, np.ndarray]]]" = OrderedDict()
+_ATTACH_CACHE_LIMIT = 4
+
+
+def _evict_attachment(key: str) -> None:
+    segments, _arrays = _ATTACH_CACHE.pop(key)
+    del _arrays  # drop the ndarray views before closing their buffers
+    for segment in segments:
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a view escaped; leak, don't crash
+            pass
+
+
+def _attach(descriptor: dict) -> tuple[np.ndarray, np.ndarray]:
+    """Resolve a task's attachment descriptor to CSR ``(offsets, positions)``."""
+    key = descriptor["key"]
+    cached = _ATTACH_CACHE.get(key)
+    if cached is not None:
+        _ATTACH_CACHE.move_to_end(key)
+        return cached[1]
+    while len(_ATTACH_CACHE) >= _ATTACH_CACHE_LIMIT:
+        _evict_attachment(next(iter(_ATTACH_CACHE)))
+    segments: list = []
+    arrays: list[np.ndarray] = []
+    for field in ("offsets", "positions"):
+        name, dtype, shape = descriptor[field]
+        segment = _attach_segment(name)
+        segments.append(segment)
+        arrays.append(np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf))
+    _ATTACH_CACHE[key] = (segments, (arrays[0], arrays[1]))
+    return _ATTACH_CACHE[key][1]
+
+
+def _execute_shm_task(descriptor: dict, task: ShardTask) -> ShardResult:
+    """Pool entry point: map the shared segments and run the pure draw core."""
+    return _run_task(task, _attach(descriptor))
+
+
+# --------------------------------------------------------------------------- #
+# Warm pool registry (pools are graph-agnostic: attachment travels per task)
+# --------------------------------------------------------------------------- #
+_WARM_SHM_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _make_pool(workers: int) -> ProcessPoolExecutor:
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context("spawn")
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+def shutdown_warm_pools() -> None:
+    """Shut down every parked shared-memory worker pool (also runs at exit)."""
+    while _WARM_SHM_POOLS:
+        _, pool = _WARM_SHM_POOLS.popitem()
+        pool.shutdown(wait=True)
+
+
+atexit.register(shutdown_warm_pools)
+
+
+class SharedMemoryTransport(ShardTransport):
+    """Warm process pool drawing from shared-memory CSR segments.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (also the transport's natural shard count).
+    keep_alive:
+        When true (default), :meth:`close` parks the pool for adoption by
+        the next ``SharedMemoryTransport`` with the same worker count
+        instead of shutting it down.  Because the attachment descriptor
+        rides on every task, an adopted pool serves *any* graph — the
+        per-graph state lives in the named segments, not the processes.
+    """
+
+    kind = "shm"
+
+    def __init__(self, workers: int, *, keep_alive: bool = True) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self.workers = int(workers)
+        self.keep_alive = bool(keep_alive)
+        self._pool: ProcessPoolExecutor | None = None
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._descriptor: dict | None = None
+
+    @property
+    def default_shards(self) -> int | None:
+        return self.workers
+
+    def bind(self, offsets, positions, *, snapshot=None) -> None:
+        self._release_segments()
+        super().bind(offsets, positions, snapshot=snapshot)
+        key = uuid.uuid4().hex[:12]
+        descriptor: dict = {"key": key}
+        for index, (field, source) in enumerate((("offsets", offsets), ("positions", positions))):
+            array = np.ascontiguousarray(np.asarray(source, dtype=np.int64))
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes), name=f"repro-{key}-{index}"
+            )
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+            view[:] = array
+            del view  # release the buffer export so close() can succeed later
+            self._segments.append(segment)
+            descriptor[field] = (segment.name, array.dtype.str, array.shape)
+        self._descriptor = descriptor
+        if _log.enabled_for("debug"):
+            _log.debug(
+                "shm_bind",
+                key=key,
+                segments=[segment.name for segment in self._segments],
+                bytes=int(sum(max(1, segment.size) for segment in self._segments)),
+            )
+
+    def _release_segments(self) -> None:
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - defensive
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+        self._segments = []
+        self._descriptor = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            parked = _WARM_SHM_POOLS.pop(self.workers, None) if self.keep_alive else None
+            if parked is not None:
+                obs_metrics.counter("sampling_warm_pool_reuse_total", kind=self.kind).inc()
+                self._pool = parked
+            else:
+                self._pool = _make_pool(self.workers)
+        return self._pool
+
+    def execute(self, tasks: list[ShardTask]) -> list[ShardResult]:
+        if self._descriptor is None:
+            raise RuntimeError("SharedMemoryTransport.execute before bind()")
+        pool = self._ensure_pool()
+        descriptor = self._descriptor
+        futures = [pool.submit(_execute_shm_task, descriptor, task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._release_segments()
+        if self._pool is not None:
+            if self.keep_alive and self.workers not in _WARM_SHM_POOLS:
+                _WARM_SHM_POOLS[self.workers] = self._pool
+            else:
+                self._pool.shutdown(wait=True)
+            self._pool = None

@@ -32,12 +32,39 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.kg.triple import Triple
 
-__all__ = ["StorageBackend", "make_backend"]
+__all__ = ["StorageBackend", "StorageStats", "make_backend"]
+
+
+@dataclass(frozen=True)
+class StorageStats:
+    """Size and cluster-shape summary of one stored graph.
+
+    The adaptive transport planner reads this to size a run: ``num_triples``
+    bounds the total draw work, ``num_entities`` bounds first-stage
+    population, and the cluster-size distribution (mean, max, coefficient of
+    variation) measures how *skewed* the entity clusters are — heavily
+    skewed graphs need finer shard plans so one giant cluster cannot
+    serialise a whole round.
+    """
+
+    num_triples: int
+    num_entities: int
+    mean_cluster_size: float
+    max_cluster_size: int
+    size_cv: float
+
+    @property
+    def skew(self) -> float:
+        """Max-over-mean cluster size; ``1.0`` for perfectly uniform clusters."""
+        if self.mean_cluster_size <= 0.0:
+            return 1.0
+        return self.max_cluster_size / self.mean_cluster_size
 
 
 class StorageBackend(ABC):
@@ -133,6 +160,29 @@ class StorageBackend(ABC):
     @abstractmethod
     def cluster_size_array(self) -> np.ndarray:
         """``int64`` cluster sizes aligned with row order."""
+
+    def stats(self) -> StorageStats:
+        """Measured size/skew statistics over the stored clusters.
+
+        Computed from :meth:`cluster_size_array` in one vectorised pass;
+        backends holding the sizes in another form may override with a
+        cheaper path.  This is the planner-facing summary — see
+        :class:`StorageStats`.
+        """
+        sizes = np.asarray(self.cluster_size_array(), dtype=np.int64)
+        num_entities = int(sizes.shape[0])
+        num_triples = int(sizes.sum()) if num_entities else 0
+        if num_entities == 0:
+            return StorageStats(0, 0, 0.0, 0, 0.0)
+        mean = num_triples / num_entities
+        std = float(sizes.std())
+        return StorageStats(
+            num_triples=num_triples,
+            num_entities=num_entities,
+            mean_cluster_size=mean,
+            max_cluster_size=int(sizes.max()),
+            size_cv=std / mean if mean > 0 else 0.0,
+        )
 
     def csr_arrays(self) -> tuple[np.ndarray, np.ndarray] | None:
         """Return the raw ``(offsets, positions)`` CSR arrays, if the backend

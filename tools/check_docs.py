@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Documentation checks for the docs/ site and README.
+
+Two classes of rot this catches, both run by the CI ``docs`` job and both
+cheap enough to run locally before every docs edit::
+
+    python tools/check_docs.py
+
+1. **Dead relative links.** Every ``[text](target)`` whose target is not an
+   absolute URL or a pure in-page anchor must resolve to a file that exists,
+   relative to the markdown file containing it (fragments are stripped).
+
+2. **Stale CLI examples.** Every ``repro ...`` invocation inside a fenced
+   ``bash`` or ``console`` block is re-parsed against the real
+   :func:`repro.cli.build_parser` — smoke mode: nothing is executed, but a
+   renamed flag, removed subcommand or newly-required option fails the
+   check.  In ``console`` blocks only ``$``-prefixed lines are commands
+   (the rest is output); in ``bash`` blocks every non-comment line is.
+   Each documented subcommand's ``--help`` must also still render.
+
+Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import re
+import shlex
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(bash|console)\s*\n(.*?)^```\s*$", re.S | re.M)
+
+
+def doc_files() -> list[Path]:
+    return [ROOT / "README.md", *sorted((ROOT / "docs").glob("**/*.md"))]
+
+
+def check_links(path: Path, errors: list[str]) -> None:
+    text = path.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(ROOT)}: dead link -> {target}")
+
+
+def _command_lines(kind: str, body: str) -> list[str]:
+    """Join continuation lines, keep only lines that are commands."""
+    joined: list[str] = []
+    pending = ""
+    for raw in body.splitlines():
+        line = pending + raw.rstrip()
+        if line.endswith("\\"):
+            pending = line[:-1] + " "
+            continue
+        pending = ""
+        joined.append(line)
+    commands = []
+    for line in joined:
+        stripped = line.strip()
+        if kind == "console":
+            if not stripped.startswith("$"):
+                continue  # output line
+            stripped = stripped[1:].strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        commands.append(stripped)
+    return commands
+
+
+def _repro_argv(command: str) -> list[str] | None:
+    """The argv after ``repro`` for a command line, or None if not repro."""
+    try:
+        tokens = shlex.split(command)
+    except ValueError:
+        return None
+    for index, token in enumerate(tokens):
+        if token == "-m" and tokens[index + 1 : index + 2] == ["repro"]:
+            return tokens[index + 2 :]
+    if tokens and tokens[0] == "repro":
+        return tokens[1:]
+    return None
+
+
+def check_cli_examples(path: Path, errors: list[str]) -> None:
+    from repro.cli import build_parser
+
+    text = path.read_text(encoding="utf-8")
+    for kind, body in FENCE_RE.findall(text):
+        for command in _command_lines(kind, body):
+            argv = _repro_argv(command)
+            if argv is None or "--help" in argv:
+                continue
+            parser = build_parser()
+            try:
+                with contextlib.redirect_stderr(io.StringIO()) as captured:
+                    parser.parse_args(argv)
+            except SystemExit:
+                errors.append(
+                    f"{path.relative_to(ROOT)}: example no longer parses: "
+                    f"`repro {' '.join(argv)}` ({captured.getvalue().strip().splitlines()[-1]})"
+                )
+
+
+def check_help_renders(errors: list[str]) -> None:
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    subcommands = [
+        name
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+        for name in action.choices
+    ]
+    for argv in [["--help"], *([name, "--help"] for name in subcommands)]:
+        try:
+            with contextlib.redirect_stdout(io.StringIO()):
+                build_parser().parse_args(argv)
+        except SystemExit as exit_:
+            if exit_.code not in (0, None):
+                errors.append(f"`repro {' '.join(argv)}` exited {exit_.code}")
+        else:  # pragma: no cover - argparse always exits on --help
+            errors.append(f"`repro {' '.join(argv)}` did not exit")
+
+
+def main() -> int:
+    errors: list[str] = []
+    for path in doc_files():
+        if not path.exists():
+            errors.append(f"missing documentation file: {path.relative_to(ROOT)}")
+            continue
+        check_links(path, errors)
+        check_cli_examples(path, errors)
+    check_help_renders(errors)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"\n{len(errors)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs OK: {len(doc_files())} files checked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
