@@ -33,8 +33,10 @@ Five commands cover the common workflows:
   ``--shards``;
 * ``planner`` — inspect (``show``) or regenerate (``calibrate``) the adaptive
   transport planner's calibration profile.  ``evaluate``/``monitor`` default
-  to ``--transport auto``: the planner picks serial, a warm pool, the
-  shared-memory transport or RPC from measured graph stats and the profile,
+  to ``--transport auto``: the shard plan (part of a run's random-stream
+  identity) is a deterministic function of the graph's stats and the MoE
+  target, identical on every host; the planner then picks serial, a warm
+  pool, the shared-memory transport or RPC to *execute* that fixed plan,
   never slower than serial beyond noise (see ``docs/planner.md``).
 
 Examples
@@ -264,14 +266,32 @@ def _plan_transport(args: argparse.Namespace, graph, draws_hint: int | None):
     return transport, decision, profile
 
 
+def _auto_planned_shards(args: argparse.Namespace, graph) -> int:
+    """The deterministic shard count ``--transport auto`` would run with.
+
+    A pure function of the graph's measured stats and the ``--moe`` /
+    ``--confidence`` target — no CPU count, no warm-pool state, no
+    calibration profile — so the *stream identity* of a default seeded run
+    (classic loop vs sharded engine, and at how many shards) is the same
+    on every host and every repetition.  The planner's adaptive inputs
+    only pick which transport executes this fixed plan.
+    """
+    from repro.sampling.planner import AdaptivePlanner, plan_shards
+
+    draws_hint = AdaptivePlanner.draws_for_target(args.moe, args.confidence)
+    return plan_shards(graph.backend.stats(), draws_hint)
+
+
 def _resolve_parallel(args: argparse.Namespace, graph=None, draws_hint: int | None = None):
     """Resolve the sharded-engine options into ``(transport, shards, decision)``.
 
     One code path for ``evaluate`` and ``monitor``.  Under ``--transport
-    auto`` (the default) with no ``--workers`` pin, the adaptive planner
-    chooses transport + shard count from the graph's measured stats and the
-    calibration profile; ``decision`` then carries the reasoning.  In every
-    mode the shard count — part of a run's random-stream identity — obeys
+    auto`` (the default) with no ``--workers`` pin, the shard count comes
+    from ``--shards`` or the deterministic ``plan_shards`` policy (graph
+    stats + draw volume only, identical on every host), and the adaptive
+    planner chooses which transport executes that
+    plan from CPU availability and the calibration profile; ``decision``
+    then carries the reasoning.  In explicit modes the shard count obeys
     ``--shards`` first, then the transport's natural width (pool worker
     count, RPC node count), then ``max(workers, 1)``.
     """
@@ -306,8 +326,19 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         data = _load_dataset(args.dataset, args.seed, args.movie_scale)
     if args.backend == "columnar":
         data = LabelledKG(data.graph.to_columnar(), data.oracle)
-    if args.workers is not None or args.transport is not None:
+    if (
+        args.workers is not None
+        or args.shards is not None
+        or args.transport not in (None, "auto")
+    ):
+        # An explicit pin always engages the sharded engine.
         return _cmd_evaluate_parallel(args, data)
+    if args.transport == "auto" and _auto_planned_shards(args, data.graph) > 1:
+        # The deterministic shard plan calls for parallelism; which
+        # transport executes it is decided adaptively inside.
+        return _cmd_evaluate_parallel(args, data)
+    # One-shard plan: the classic single-stream evaluator, bit-identical to
+    # every pre-planner default run.
     design = _build_design(
         args.design, data, args.second_stage_size, args.seed, allocation=args.allocation
     )
@@ -332,11 +363,11 @@ def _cmd_evaluate_parallel(args: argparse.Namespace, data: LabelledKG) -> int:
     """``evaluate`` on the sharded position-surface draw engine.
 
     Runs the iterative evaluation on integer positions and boolean label
-    arrays.  ``--transport auto`` (the default) lets the adaptive planner
-    pick the transport and shard count from the graph's measured stats and
-    the calibration profile; ``--workers N`` / an explicit ``--transport``
-    force a configuration.  For a fixed ``--shards`` the estimates are
-    bit-identical for every transport and worker count.
+    arrays.  ``--transport auto`` (the default) shards deterministically
+    (graph stats + MoE target only) and lets the adaptive planner pick the
+    transport that executes the plan; ``--workers N`` / an explicit
+    ``--transport`` force a configuration.  For a fixed shard plan the
+    estimates are bit-identical for every transport and worker count.
     """
     import time
 
@@ -395,6 +426,9 @@ def _cmd_evaluate_parallel(args: argparse.Namespace, data: LabelledKG) -> int:
             rounds=run.rounds,
             seconds=elapsed,
             workers=decision.workers,
+            # A run on an adopted warm pool never paid the startup cost;
+            # subtracting it anyway would bias per_draw_us low over time.
+            warm=decision.warm,
         )
         save_profile(profile, getattr(args, "profile", None))
     satisfied = estimate.num_units >= config.min_units and estimate.satisfies(
@@ -487,16 +521,17 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         "ss": StratifiedIncrementalEvaluator,
         "baseline": BaselineEvolvingEvaluator,
     }
-    parallel_requested = args.workers is not None or args.transport not in (None, "auto")
+    explicit_engine = args.workers is not None or args.transport not in (None, "auto")
+    parallel_requested = explicit_engine or args.shards is not None
     if parallel_requested and surface != "position":
         raise SystemExit(
-            "--workers/--transport requires the position surface: use "
-            "--backend columnar with --evaluator rs or ss"
+            "--workers/--shards/--transport requires the position surface: "
+            "use --backend columnar with --evaluator rs or ss"
         )
     config = _Config(moe_target=args.moe, confidence_level=args.confidence)
     extra = {}
     decision = None
-    if parallel_requested:
+    if explicit_engine:
         transport, shards, _planned = _resolve_parallel(args)
         extra = {"num_shards": shards}
         if transport is not None:
@@ -504,20 +539,21 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         else:
             extra["workers"] = args.workers
     elif args.transport == "auto" and surface == "position":
-        # Adaptive default: plan from the base graph's measured stats.  A
-        # serial verdict keeps the classic single-stream position surface
-        # (zero engine overhead, historical trajectories); a parallel
-        # verdict routes the draw loops through the sharded engine.
-        from repro.sampling.planner import AdaptivePlanner
+        # Adaptive default.  Whether the sharded engine engages — part of
+        # the run's random-stream identity — is a pure function of the
+        # graph's stats and the MoE target (plus an explicit --shards pin):
+        # a one-shard plan keeps the classic single-stream position surface
+        # (zero engine overhead, historical trajectories) on every host.
+        # Only the transport *executing* a multi-shard plan is adaptive.
+        engage = args.shards is not None or _auto_planned_shards(args, data.graph) > 1
+        if engage:
+            from repro.sampling.planner import AdaptivePlanner
 
-        draws_hint = AdaptivePlanner.draws_for_target(args.moe, args.confidence)
-        transport, shards, planned = _resolve_parallel(args, data.graph, draws_hint)
-        if planned is not None:
-            decision = planned[0]
-            if decision.transport != "serial":
-                extra = {"num_shards": shards, "transport": transport}
-            elif transport is not None:
-                transport.close()
+            draws_hint = AdaptivePlanner.draws_for_target(args.moe, args.confidence)
+            transport, shards, planned = _resolve_parallel(args, data.graph, draws_hint)
+            if planned is not None:
+                decision = planned[0]
+            extra = {"num_shards": shards, "transport": transport}
     engine_engaged = parallel_requested or "transport" in extra
     evaluator = evaluator_classes[args.evaluator](
         data,
@@ -895,12 +931,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "serial", "pool", "shm", "rpc"),
         default="auto",
         help="execution transport for the sharded engine: 'auto' (default — "
-        "the adaptive planner picks from measured graph stats and the "
-        "calibration profile, see docs/planner.md), 'serial' (in-process "
-        "reference), 'pool' (local worker processes), 'shm' (shared-memory "
-        "CSR views + warm worker pool), 'rpc' (remote worker nodes via "
-        "--nodes); trajectories are bit-identical across transports for a "
-        "fixed --shards",
+        "a deterministic shard plan from graph stats + the MoE target, "
+        "executed by whichever transport the adaptive planner predicts "
+        "fastest, see docs/planner.md), 'serial' (in-process reference), "
+        "'pool' (local worker processes), 'shm' (shared-memory CSR views + "
+        "warm worker pool), 'rpc' (remote worker nodes via --nodes); "
+        "trajectories are bit-identical across transports for a fixed "
+        "shard plan",
     )
     evaluate.add_argument(
         "--profile",

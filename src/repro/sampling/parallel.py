@@ -70,6 +70,7 @@ import os
 import time
 import uuid
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -488,21 +489,43 @@ class SerialTransport(ShardTransport):
         return [_run_task(task, attached) for task in tasks]
 
 
-#: Parked keep-alive pools awaiting adoption, keyed by
-#: ``ProcessPoolTransport._warm_key()``.  The parked entry keeps its
-#: ``_ATTACH_REGISTRY`` reference, so the CSR arrays a warm pool's forked
-#: workers attached to stay pinned (and their ``id()`` keys unambiguous)
-#: until the pool is adopted or shut down.
-_WARM_POOLS: dict[tuple, tuple[ProcessPoolExecutor, str | None]] = {}
+#: Parked keep-alive pools awaiting adoption, LRU-ordered and keyed by
+#: ``ProcessPoolTransport._warm_key()``.  Each entry holds the pool, its
+#: ``_ATTACH_REGISTRY`` key, and **strong references to the bound CSR
+#: arrays**: pinning the arrays in the entry itself (not only through the
+#: fork-mode registry) keeps their ``id()``s unambiguous under every start
+#: method — under ``spawn`` there is no registry entry, and without the pin
+#: a freed array's id could be reused by a different graph, letting its
+#: bind adopt a pool whose workers still hold the old CSR.
+_WARM_POOLS: "OrderedDict[tuple, tuple[ProcessPoolExecutor, str | None, tuple]]" = OrderedDict()
+
+#: At most this many pools stay parked; the least-recently-parked is shut
+#: down (and its registry attachment dropped) on overflow, so a long-lived
+#: process walking many graphs cannot accumulate OS processes and pinned
+#: arrays without bound.
+_WARM_POOL_LIMIT = 2
+
+
+def _discard_warm_pool(key: tuple) -> None:
+    pool, attach_key, _pinned = _WARM_POOLS.pop(key)
+    pool.shutdown(wait=True)
+    if attach_key is not None:
+        _ATTACH_REGISTRY.pop(attach_key, None)
+
+
+def _park_warm_pool(
+    key: tuple, pool: ProcessPoolExecutor, attach_key: str | None, pinned: tuple
+) -> None:
+    _WARM_POOLS[key] = (pool, attach_key, pinned)
+    _WARM_POOLS.move_to_end(key)
+    while len(_WARM_POOLS) > _WARM_POOL_LIMIT:
+        _discard_warm_pool(next(iter(_WARM_POOLS)))
 
 
 def shutdown_warm_pools() -> None:
     """Shut down every parked keep-alive worker pool (also runs at exit)."""
     while _WARM_POOLS:
-        _, (pool, attach_key) = _WARM_POOLS.popitem()
-        pool.shutdown(wait=True)
-        if attach_key is not None:
-            _ATTACH_REGISTRY.pop(attach_key, None)
+        _discard_warm_pool(next(iter(_WARM_POOLS)))
 
 
 atexit.register(shutdown_warm_pools)
@@ -543,8 +566,9 @@ class ProcessPoolTransport(ShardTransport):
     def _warm_key(self) -> tuple:
         """Identity of (worker count, attached CSR index) for pool reuse.
 
-        Array ``id()`` is unambiguous here because a parked pool's registry
-        entry pins the arrays for as long as the key can be looked up.
+        Array ``id()`` is unambiguous here because a parked pool's
+        ``_WARM_POOLS`` entry holds strong references to the arrays (in
+        every start method) for as long as the key can be looked up.
         """
         if self._snapshot is not None:
             return ("pool", self.workers, "snapshot", self._snapshot)
@@ -559,7 +583,7 @@ class ProcessPoolTransport(ShardTransport):
         if self.keep_alive:
             parked = _WARM_POOLS.pop(self._warm_key(), None)
             if parked is not None:
-                self._pool, self._attach_key = parked
+                self._pool, self._attach_key, _pinned = parked
                 obs_metrics.counter("sampling_warm_pool_reuse_total", kind=self.kind).inc()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -597,9 +621,12 @@ class ProcessPoolTransport(ShardTransport):
         if self._pool is not None and self.keep_alive and bound:
             key = self._warm_key()
             if key not in _WARM_POOLS:
-                # Park the pool (keeping its registry attachment pinned) for
-                # the next transport bound to the same index.
-                _WARM_POOLS[key] = (self._pool, self._attach_key)
+                # Park the pool for the next transport bound to the same
+                # index, pinning the bound arrays so the id-based key stays
+                # unambiguous for the entry's lifetime.
+                _park_warm_pool(
+                    key, self._pool, self._attach_key, (self._offsets, self._positions)
+                )
                 self._pool = None
                 self._attach_key = None
                 return

@@ -24,13 +24,16 @@ and leaves serial unless a parallel transport is predicted at least
 ``min_speedup`` times faster — the *never slower than serial beyond noise*
 invariant, gated for real in ``benchmarks/bench_parallel_sampling.py``.
 
-A decision never touches the draw streams: the planner only chooses which
-:class:`~repro.sampling.parallel.ShardTransport` runs the bit-identical
-task plan, plus the shard count and RPC pipelining window.  Because the
-shard count *is* part of a run's random-stream identity, a caller-pinned
-``--shards`` is always honoured — which is what makes
-``--transport auto`` bit-identical to ``--transport serial`` under the
-golden-trajectory suite.
+**Stream identity is machine-independent by construction.**  The shard
+count is part of a run's random-stream identity, so :func:`plan_shards`
+derives it purely from the graph's stats and the expected draw volume —
+hard-coded policy constants, no CPU count, no warm-pool state, no mutable
+profile field.  Everything the planner *learns* (the calibration profile)
+or *senses* (CPU affinity, parked pools) only picks which transport
+executes that fixed plan, and every transport is bit-identical for a
+fixed plan.  A caller-pinned ``--shards`` is always honoured, and the
+same seeded command therefore produces the same estimates on every host,
+cold or warm, first run or hundredth.
 
 Every decision is recorded: an ``planner_decisions_total{transport=...}``
 counter, a structured ``planner_decision`` log event carrying the reason
@@ -57,6 +60,7 @@ __all__ = [
     "TransportCost",
     "default_profile_path",
     "load_profile",
+    "plan_shards",
     "save_profile",
 ]
 
@@ -75,6 +79,47 @@ _PARALLEL_EFFICIENCY = 0.75
 
 #: EWMA weight for new observations folded into the profile.
 _OBSERVE_ALPHA = 0.3
+
+# ---- Shard-plan policy: hard constants, never profile fields. ------------- #
+# The shard count is part of a run's random-stream identity, so the policy
+# below must be a pure function of (graph stats, draw volume).  Keeping the
+# knobs out of CalibrationProfile is deliberate: the profile mutates after
+# every run, and a mutated profile must never change what a seeded command
+# draws — only which transport executes the fixed plan.
+
+#: Planned parallel width when draws are plentiful (identical on every host;
+#: a narrower machine simply executes more shards per worker).
+PLAN_WIDTH = 8
+
+#: Below this many expected draws per shard the fan-out stops amortising;
+#: plans coarsen, all the way down to one shard (= serial) for tiny runs.
+MIN_DRAWS_PER_SHARD = 2_000
+
+#: ``stats.skew`` (max/mean cluster size) beyond which plans shard finer so
+#: one giant cluster's range splits away from the bulk.
+SKEW_THRESHOLD = 20.0
+
+#: Absolute shard-count ceiling.
+MAX_PLANNED_SHARDS = 64
+
+
+def plan_shards(stats: StorageStats, draws_hint: int) -> int:
+    """Deterministic shard count for a run over ``stats``-shaped data.
+
+    A pure function of the graph's measured stats and the expected draw
+    volume — the machine-independent half of a planning decision.  Starts
+    at :data:`PLAN_WIDTH`, doubles for skewed cluster-size distributions,
+    coarsens (down to one shard) when per-shard draws would fall below
+    :data:`MIN_DRAWS_PER_SHARD`, and never exceeds
+    :data:`MAX_PLANNED_SHARDS` or the entity count.
+    """
+    draws_hint = max(1, min(int(draws_hint), max(stats.num_triples, 1)))
+    shards = PLAN_WIDTH
+    if stats.skew > SKEW_THRESHOLD:
+        shards *= 2
+    if draws_hint < shards * MIN_DRAWS_PER_SHARD:
+        shards = max(1, draws_hint // MIN_DRAWS_PER_SHARD)
+    return int(max(1, min(shards, MAX_PLANNED_SHARDS, stats.num_entities or 1)))
 
 
 @dataclass
@@ -135,11 +180,8 @@ class CalibrationProfile:
     transports: dict[str, TransportCost] = field(default_factory=_default_transport_costs)
     #: Required predicted advantage before leaving serial.
     min_speedup: float = 1.25
-    #: Lower bound on draws-per-shard before finer sharding stops paying.
-    min_draws_per_shard: int = 2_000
-    #: ``stats.skew`` (max/mean cluster size) beyond which plans shard finer.
-    skew_threshold: float = 20.0
-    #: Cap on local worker processes the planner will request.
+    #: Cap on local worker processes the planner will request.  Affects only
+    #: execution width, never the shard plan (see :func:`plan_shards`).
     max_workers: int = 8
     #: Observed RPC per-task service time and round-trip, for window sizing.
     rpc_service_ms: float = 2.0
@@ -163,8 +205,6 @@ class CalibrationProfile:
             "version": self.VERSION,
             "params": {
                 "min_speedup": self.min_speedup,
-                "min_draws_per_shard": self.min_draws_per_shard,
-                "skew_threshold": self.skew_threshold,
                 "max_workers": self.max_workers,
                 "rpc_service_ms": self.rpc_service_ms,
                 "rpc_rtt_ms": self.rpc_rtt_ms,
@@ -181,8 +221,6 @@ class CalibrationProfile:
         return cls(
             transports=transports,
             min_speedup=float(params.get("min_speedup", 1.25)),
-            min_draws_per_shard=int(params.get("min_draws_per_shard", 2_000)),
-            skew_threshold=float(params.get("skew_threshold", 20.0)),
             max_workers=int(params.get("max_workers", 8)),
             rpc_service_ms=float(params.get("rpc_service_ms", 2.0)),
             rpc_rtt_ms=float(params.get("rpc_rtt_ms", 0.5)),
@@ -328,6 +366,11 @@ class PlannerDecision:
     predicted_seconds: float
     predictions: dict[str, float]
     draws_hint: int
+    #: Whether the chosen transport's prediction assumed an adoptable warm
+    #: pool (startup waived) — callers feed this back to
+    #: :meth:`CalibrationProfile.observe` so warm runs don't bias
+    #: ``per_draw_us`` low by subtracting a startup cost they never paid.
+    warm: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -339,6 +382,7 @@ class PlannerDecision:
             "predicted_seconds": self.predicted_seconds,
             "predictions": {k: round(v, 6) for k, v in self.predictions.items()},
             "draws_hint": self.draws_hint,
+            "warm": self.warm,
         }
 
 
@@ -423,21 +467,31 @@ class AdaptivePlanner:
 
         ``draws`` is the expected draw volume (defaults to the
         MoE-0.05 hint); ``shards``, ``workers`` and ``rpc_window`` are
-        caller pins that the planner always honours — pinning ``shards``
-        is what keeps ``--transport auto`` replayable against
-        ``--transport serial``.  ``nodes`` > 0 makes RPC a candidate.
+        caller pins that the planner always honours.  ``nodes`` > 0 makes
+        RPC a candidate.
+
+        The shard count — the stream-identity half of the decision — comes
+        first, from the pin or :func:`plan_shards`, and nothing below that
+        line (CPU count, warm pools, calibrated costs) can change it; those
+        inputs only choose which transport executes the fixed plan.
         """
         draws_hint = draws if draws is not None else self.draws_for_target(0.05)
         draws_hint = max(1, min(draws_hint, max(stats.num_triples, 1)))
         rounds = max(1, math.ceil(draws_hint / max(1, batch_size)))
+
+        if shards is not None:
+            chosen_shards = max(1, int(shards))
+        else:
+            chosen_shards = plan_shards(stats, draws_hint)
+
         local_workers = workers if workers else min(self.cpu_count, self.profile.max_workers)
-        local_workers = max(1, local_workers)
+        local_workers = max(1, min(local_workers, chosen_shards))
 
         candidates: dict[str, tuple[int, bool]] = {"serial": (1, False)}
         if local_workers >= 2:
             for kind in ("shm", "pool"):
                 candidates[kind] = (local_workers, self._warm_workers(kind, local_workers))
-        if nodes > 0:
+        if nodes > 0 and chosen_shards > 1:
             candidates["rpc"] = (max(1, nodes), False)
 
         predictions = {
@@ -455,24 +509,6 @@ class AdaptivePlanner:
                 chosen = kind
         chosen_workers, chosen_warm = candidates[chosen]
 
-        if shards is not None:
-            chosen_shards = max(1, int(shards))
-        elif chosen == "serial":
-            chosen_shards = 1
-        else:
-            chosen_shards = chosen_workers
-            if stats.skew > self.profile.skew_threshold:
-                # One giant cluster must not serialise a round: shard finer
-                # so its range splits away from the bulk.
-                chosen_shards *= 2
-            per_shard = draws_hint / max(1, chosen_shards)
-            if per_shard < self.profile.min_draws_per_shard:
-                chosen_shards = max(
-                    chosen_workers,
-                    int(draws_hint // self.profile.min_draws_per_shard) or 1,
-                )
-            chosen_shards = int(max(1, min(chosen_shards, 64, stats.num_entities or 1)))
-
         window = None
         if chosen == "rpc":
             if rpc_window is not None:
@@ -486,14 +522,15 @@ class AdaptivePlanner:
                 f"predicted serial {serial_predicted:.3f}s beats parallel "
                 f"alternatives beyond the {self.profile.min_speedup:.2f}x margin "
                 f"at ~{draws_hint} draws over {stats.num_triples} triples"
+                f" ({chosen_shards} shard{'s' if chosen_shards != 1 else ''})"
             )
         else:
             reason = (
                 f"predicted {chosen} {predictions[chosen]:.3f}s vs serial "
                 f"{serial_predicted:.3f}s at ~{draws_hint} draws "
-                f"({chosen_workers} workers"
+                f"({chosen_shards} shards on {chosen_workers} workers"
                 + (", warm pool" if chosen_warm else "")
-                + (f", skew {stats.skew:.0f}" if stats.skew > self.profile.skew_threshold else "")
+                + (f", skew {stats.skew:.0f}" if stats.skew > SKEW_THRESHOLD else "")
                 + ")"
             )
 
@@ -506,6 +543,7 @@ class AdaptivePlanner:
             predicted_seconds=predictions[chosen],
             predictions=predictions,
             draws_hint=draws_hint,
+            warm=chosen_warm,
         )
         obs_metrics.counter("planner_decisions_total", transport=chosen).inc()
         if _log.enabled_for("info"):

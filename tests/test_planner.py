@@ -91,11 +91,47 @@ class TestDecisions:
     def test_low_draw_volume_coarsens_shards(self):
         planner = AdaptivePlanner(_fixed_profile(), cpu_count=8)
         # Skew asks for 16 shards, but 20k draws over 16 shards is only
-        # 1250/shard — below min_draws_per_shard=2000, so the plan falls
-        # back to draws//2000 = 10 shards (never below the worker count).
+        # 1250/shard — below MIN_DRAWS_PER_SHARD=2000, so the plan falls
+        # back to draws//2000 = 10 shards.
         decision = planner.plan(_stats(biggest=500), draws=20_000)
         assert decision.transport == "shm"
         assert decision.shards == 10
+
+    def test_tiny_runs_coarsen_below_worker_count_to_serial(self):
+        planner = AdaptivePlanner(_fixed_profile(), cpu_count=8)
+        # 3k draws cannot amortise even one shard per worker (8 x 2000):
+        # the amortisation floor wins and the plan collapses to one shard,
+        # which forces the serial transport.
+        decision = planner.plan(_stats(), draws=3_000)
+        assert decision.shards == 1
+        assert decision.transport == "serial"
+        assert list(decision.predictions) == ["serial"]
+
+    def test_shard_plan_is_machine_and_profile_independent(self):
+        # The shard count is part of the run's random-stream identity, so
+        # it must be a pure function of (stats, draws): CPU width changes
+        # the executing workers, never the plan...
+        decisions = [
+            AdaptivePlanner(_fixed_profile(), cpu_count=cpus).plan(_stats(), draws=500_000)
+            for cpus in (1, 2, 8, 64)
+        ]
+        assert [d.shards for d in decisions] == [8, 8, 8, 8]
+        assert [d.workers for d in decisions] == [1, 2, 8, 8]  # capped by max_workers
+        # ...and a drifted calibration profile may flip the transport but
+        # must never move the shard plan.
+        drifted = _fixed_profile()
+        for _ in range(5):
+            drifted.observe("serial", draws=1_000, rounds=1, seconds=50.0, workers=1)
+        drifted_decision = AdaptivePlanner(drifted, cpu_count=8).plan(_stats(), draws=500_000)
+        assert drifted_decision.shards == 8
+
+    def test_plan_shards_is_a_pure_stats_function(self):
+        from repro.sampling.planner import plan_shards
+
+        assert plan_shards(_stats(), 500_000) == 8
+        assert plan_shards(_stats(biggest=500), 500_000) == 16  # skew doubles
+        assert plan_shards(_stats(), 1_000) == 1  # tiny runs collapse
+        assert plan_shards(_stats(entities=3), 500_000) == 3  # entity cap
 
     def test_rpc_considered_only_with_nodes(self):
         profile = _fixed_profile()
@@ -118,6 +154,21 @@ class TestDecisions:
         planner = AdaptivePlanner(profile, cpu_count=1)
         decision = planner.plan(_stats(), draws=500_000, nodes=4, rpc_window=9)
         assert decision.rpc_window == 9
+
+    def test_warm_pool_awareness_recorded_on_the_decision(self):
+        from repro.sampling import shm
+
+        planner = AdaptivePlanner(_fixed_profile(), cpu_count=8)
+        cold = planner.plan(_stats(), draws=500_000)
+        assert cold.warm is False
+        shm._WARM_SHM_POOLS[8] = object()  # fake a parked pool
+        try:
+            warmed = planner.plan(_stats(), draws=500_000)
+        finally:
+            shm._WARM_SHM_POOLS.pop(8, None)
+        assert warmed.transport == "shm" and warmed.warm is True
+        assert warmed.predictions["shm"] < cold.predictions["shm"]
+        assert warmed.shards == cold.shards  # warm state never moves the plan
 
     def test_decision_serialises(self):
         planner = AdaptivePlanner(_fixed_profile(), cpu_count=8)
@@ -162,6 +213,17 @@ class TestProfilePersistence:
         assert 10.0 < entry.per_draw_us < 20.0  # EWMA, not replacement
         assert entry.samples == 2
 
+    def test_observe_warm_keeps_startup_out_of_the_residual(self):
+        cold, warm = _fixed_profile(), _fixed_profile()
+        kwargs = dict(draws=10_000, rounds=2, seconds=1.0, workers=4)
+        cold.observe("pool", warm=False, **kwargs)
+        warm.observe("pool", warm=True, **kwargs)
+        # A warm run never paid the startup cost, so nothing is subtracted
+        # and more of the wall-clock is attributed to per-draw time —
+        # without this, repeated warm runs bias per_draw_us low and the
+        # planner grows spuriously optimistic about leaving serial.
+        assert warm.cost("pool").per_draw_us > cold.cost("pool").per_draw_us
+
     def test_calibrate_from_bench(self):
         profile = CalibrationProfile()
         updated = profile.calibrate_from_bench(
@@ -193,8 +255,8 @@ class TestBackendStats:
 
 
 class TestAutoParity:
-    def _evaluate(self, capsys, transport) -> list[str]:
-        main(["evaluate", "--dataset", "nell", "--seed", "7", "--transport", transport])
+    def _evaluate(self, capsys, *extra) -> list[str]:
+        main(["evaluate", "--dataset", "nell", "--seed", "7", *extra])
         out = capsys.readouterr().out
         # Every numeric result line; planner/design provenance lines differ
         # by construction, the statistics must not.
@@ -213,8 +275,40 @@ class TestAutoParity:
             if line.strip().startswith(keep) or "interval" in line
         ]
 
+    def test_default_auto_keeps_the_classic_loop(self, capsys, tmp_path, monkeypatch):
+        # At the default MoE target the deterministic shard plan is one
+        # shard, so a bare `repro evaluate` must run the classic
+        # single-stream evaluator — bit-identical to every pre-planner
+        # default run, on any host, regardless of profile state.
+        monkeypatch.setenv("REPRO_PLANNER_PROFILE", str(tmp_path / "planner.json"))
+        main(["evaluate", "--dataset", "nell", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert "estimated accuracy" in out
+        assert "transport=" not in out and "shards=" not in out
+
     def test_transport_auto_replays_serial_bit_identically(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_PLANNER_PROFILE", str(tmp_path / "planner.json"))
-        auto = self._evaluate(capsys, "auto")
-        serial = self._evaluate(capsys, "serial")
+        auto = self._evaluate(capsys, "--transport", "auto", "--shards", "2")
+        serial = self._evaluate(capsys, "--transport", "serial", "--shards", "2")
+        assert auto == serial and auto
+
+    @pytest.mark.parallel
+    def test_profile_drift_flips_transport_never_numbers(self, capsys, tmp_path, monkeypatch):
+        # The review scenario: a mutated calibration profile may change the
+        # planner's transport pick, but a seeded command's estimates must
+        # not move.  Force a profile that makes parallel look free and
+        # compare against the serial reference on the same shard plan.
+        profile_path = tmp_path / "planner.json"
+        monkeypatch.setenv("REPRO_PLANNER_PROFILE", str(profile_path))
+        eager = CalibrationProfile(
+            transports={
+                "serial": TransportCost(per_draw_us=50.0, round_overhead_ms=0.0, startup_ms=0.0),
+                "shm": TransportCost(per_draw_us=50.0, round_overhead_ms=0.0, startup_ms=0.0),
+                "pool": TransportCost(per_draw_us=50.0, round_overhead_ms=0.0, startup_ms=0.0),
+            },
+            min_speedup=1.0,
+        )
+        save_profile(eager, profile_path)
+        auto = self._evaluate(capsys, "--transport", "auto", "--shards", "2")
+        serial = self._evaluate(capsys, "--transport", "serial", "--shards", "2")
         assert auto == serial and auto
