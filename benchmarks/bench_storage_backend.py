@@ -20,6 +20,14 @@ memory-map thereafter" workflow the snapshot store exists for.  A separate
 test confirms the statistical contract: the *same* TWCS evaluation (object
 surface, fixed seed) returns the identical estimate on both backends.
 
+A second comparison pits the **sqlite backend** (out-of-core: graph columns
+and vocabulary stay in the WAL database, only the CSR position index is
+materialised) against the columnar backend held fully in RAM.  Peak resident
+memory (``VmHWM`` delta) of both evaluation workers lands in the results
+JSON; at full scale the sqlite peak must come in *below* the columnar one —
+that is the whole point of the backend.  A thaw micro-benchmark guards the
+``frombytes`` fast path in ``ColumnarStore._thaw``.
+
 Environment knobs: ``REPRO_BENCH_STORAGE_TRIPLES`` (default 1_000_000)
 scales the KG; ``REPRO_BENCH_STORAGE_DRAWS`` (default 50_000) scales the
 timed draw loop.  Below 1M triples (e.g. the CI benchmark-smoke job at ~50k)
@@ -74,6 +82,15 @@ def _rss_kb() -> int:
             if line.startswith("VmRSS:"):
                 return int(line.split()[1])
     raise RuntimeError("VmRSS not found")  # pragma: no cover
+
+
+def _peak_rss_kb() -> int:
+    """Process high-water-mark RSS (``VmHWM``) — the honest "peak memory"."""
+    with open("/proc/self/status", "r", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith("VmHWM:"):
+                return int(line.split()[1])
+    raise RuntimeError("VmHWM not found")  # pragma: no cover
 
 
 # --------------------------------------------------------------------------- #
@@ -177,6 +194,106 @@ def _worker_columnar(snapshot_path: str) -> dict:
     }
 
 
+def _worker_build_sqlite(snapshot_path: str, db_path: str) -> dict:
+    """Bulk-copy the snapshot's columns into a WAL sqlite database."""
+    from repro.kg.graph import KnowledgeGraph
+    from repro.storage.sqlite import SqliteStore
+
+    graph = KnowledgeGraph.from_snapshot(snapshot_path, mmap=True)
+    started = time.perf_counter()
+    store = SqliteStore.from_columnar(graph.backend, path=db_path, name=graph.name)
+    build_seconds = time.perf_counter() - started
+    store.close()
+    db_bytes = sum(
+        p.stat().st_size for p in (Path(db_path), Path(db_path + "-wal")) if p.exists()
+    )
+    return {
+        "backend": "sqlite build",
+        "num_triples": graph.num_triples,
+        "build_seconds": build_seconds,
+        "db_size_mb": db_bytes / (1024 * 1024),
+    }
+
+
+def _worker_columnar_ram(snapshot_path: str) -> dict:
+    """Columnar fully in RAM (mmap off): the in-core cost sqlite competes with."""
+    import numpy as np
+
+    from repro.kg.graph import KnowledgeGraph
+    from repro.sampling.twcs import TwoStageWeightedClusterDesign
+
+    rss_before = _rss_kb()
+    started = time.perf_counter()
+    graph = KnowledgeGraph.from_snapshot(snapshot_path, mmap=False)
+    design = TwoStageWeightedClusterDesign(
+        graph, second_stage_size=_SECOND_STAGE, seed=_DESIGN_SEED
+    )
+    load_seconds = time.perf_counter() - started
+
+    label_array = np.random.default_rng(_LABEL_SEED).random(graph.num_triples) < _ACCURACY
+    drawn = 0
+    started = time.perf_counter()
+    while drawn < _TARGET_DRAWS:
+        units = design.draw_positions(min(_BATCH, _TARGET_DRAWS - drawn))
+        design.update_all_positions(units, label_array)
+        drawn += len(units)
+    loop_seconds = time.perf_counter() - started
+    return {
+        "backend": "columnar (in RAM)",
+        "num_triples": graph.num_triples,
+        "num_entities": graph.num_entities,
+        "load_seconds": load_seconds,
+        "peak_rss_kb": _peak_rss_kb() - rss_before,
+        "draws": drawn,
+        "draws_per_second": drawn / loop_seconds,
+        "estimate": design.estimate().value,
+    }
+
+
+def _worker_sqlite(db_path: str) -> dict:
+    """Out-of-core path: open the WAL database, position-surface TWCS loop.
+
+    ``mmap_size=0`` keeps reads on sqlite's bounded page cache — the
+    configuration whose resident footprint the backend is claimed at.  Only
+    the materialised CSR position index (~12 bytes/triple) lives in Python
+    memory; the string columns and vocabulary never leave the file.
+    """
+    import numpy as np
+
+    from repro.kg.graph import KnowledgeGraph
+    from repro.sampling.twcs import TwoStageWeightedClusterDesign
+    from repro.storage.sqlite import SqliteStore
+
+    rss_before = _rss_kb()
+    started = time.perf_counter()
+    store = SqliteStore(db_path, mmap_size=0)
+    graph = KnowledgeGraph(name=store.graph_name() or "bench", backend=store)
+    design = TwoStageWeightedClusterDesign(
+        graph, second_stage_size=_SECOND_STAGE, seed=_DESIGN_SEED
+    )
+    store.csr_arrays()  # materialise the position index up front
+    load_seconds = time.perf_counter() - started
+
+    label_array = np.random.default_rng(_LABEL_SEED).random(graph.num_triples) < _ACCURACY
+    drawn = 0
+    started = time.perf_counter()
+    while drawn < _TARGET_DRAWS:
+        units = design.draw_positions(min(_BATCH, _TARGET_DRAWS - drawn))
+        design.update_all_positions(units, label_array)
+        drawn += len(units)
+    loop_seconds = time.perf_counter() - started
+    return {
+        "backend": "sqlite (out of core)",
+        "num_triples": graph.num_triples,
+        "num_entities": graph.num_entities,
+        "load_seconds": load_seconds,
+        "peak_rss_kb": _peak_rss_kb() - rss_before,
+        "draws": drawn,
+        "draws_per_second": drawn / loop_seconds,
+        "estimate": design.estimate().value,
+    }
+
+
 def _run_worker(role: str, *args: str) -> dict:
     env = dict(os.environ)
     src = str(_REPO_ROOT / "src")
@@ -251,6 +368,121 @@ def test_storage_backend_draw_loop_and_memory(benchmark, tmp_path):
     assert abs(columnar["estimate"] - _ACCURACY) < 0.01
 
 
+def test_sqlite_backend_out_of_core_memory(benchmark, tmp_path):
+    """Sqlite vs in-RAM columnar: identical estimates, lower peak RSS.
+
+    The draw loops run the same TWCS position-surface evaluation with the
+    same seeds on both backends; the estimates must agree bit-for-bit at any
+    scale.  At the full 1M-triple scale the sqlite worker's peak resident
+    memory must come in below the columnar worker's — the columns and
+    vocabulary stay in the database file.
+    """
+    from conftest import emit, run_once
+
+    snapshot_path = str(tmp_path / "bench-kg")
+    db_path = str(tmp_path / "bench-kg.sqlite")
+
+    def run_comparison():
+        build = _run_worker("build-snapshot", snapshot_path)
+        sqlite_build = _run_worker("build-sqlite", snapshot_path, db_path)
+        columnar_ram = _run_worker("columnar-ram", snapshot_path)
+        sqlite = _run_worker("sqlite", db_path)
+        return build, sqlite_build, columnar_ram, sqlite
+
+    build, sqlite_build, columnar_ram, sqlite = run_once(benchmark, run_comparison)
+    results_dir = os.environ.get("REPRO_BENCH_RESULTS_DIR")
+    if results_dir:
+        Path(results_dir).mkdir(parents=True, exist_ok=True)
+        out = Path(results_dir) / "bench_storage_backend_sqlite.json"
+        with open(out, "w", encoding="utf-8") as f:
+            json.dump(
+                {
+                    "build": build,
+                    "sqlite_build": sqlite_build,
+                    "columnar_ram": columnar_ram,
+                    "sqlite": sqlite,
+                },
+                f,
+                indent=2,
+            )
+    peak_ratio = columnar_ram["peak_rss_kb"] / max(1, sqlite["peak_rss_kb"])
+    emit(
+        "Sqlite backend: out-of-core evaluation vs columnar in RAM "
+        f"({sqlite['num_triples']:,} triples, TWCS m={_SECOND_STAGE})",
+        "\n".join(
+            [
+                f"{'':28}{'columnar (RAM)':>16}{'sqlite':>16}{'ratio':>9}",
+                f"{'peak RSS delta (MB)':28}{columnar_ram['peak_rss_kb'] / 1024:>16.1f}"
+                f"{sqlite['peak_rss_kb'] / 1024:>16.1f}{peak_ratio:>8.1f}x",
+                f"{'draws per second':28}{columnar_ram['draws_per_second']:>16,.0f}"
+                f"{sqlite['draws_per_second']:>16,.0f}",
+                f"{'estimate (true 0.900)':28}{columnar_ram['estimate']:>16.4f}"
+                f"{sqlite['estimate']:>16.4f}",
+                f"(sqlite bulk copy: {sqlite_build['build_seconds']:.1f} s, "
+                f"database {sqlite_build['db_size_mb']:.1f} MB; "
+                f"open+CSR: {sqlite['load_seconds'] * 1000:.0f} ms)",
+            ]
+        ),
+    )
+    assert sqlite["num_triples"] == columnar_ram["num_triples"] == sqlite_build["num_triples"]
+    # Same seeds, same CSR layout -> the draw streams and estimates are
+    # bit-identical however the bytes are stored.
+    assert sqlite["estimate"] == columnar_ram["estimate"]
+    if sqlite["num_triples"] >= _FULL_SCALE:
+        assert sqlite["peak_rss_kb"] < columnar_ram["peak_rss_kb"], (
+            f"sqlite peak RSS {sqlite['peak_rss_kb']} kB not below "
+            f"columnar's {columnar_ram['peak_rss_kb']} kB"
+        )
+
+
+def test_columnar_thaw_budget(benchmark):
+    """``ColumnarStore._thaw`` must stay a memcpy, not an object storm.
+
+    Builds a frozen store at the benchmark scale and times one
+    frozen->building transition.  The budget scales with the triple count
+    (2 s per 1M triples, 0.5 s floor) — generous for ``frombytes``, far
+    below what per-element ``.tolist()`` round-trips cost.
+    """
+    import numpy as np
+
+    from conftest import emit, run_once
+    from repro.storage.columnar import ColumnarStore, Vocabulary
+
+    num_triples = _TARGET_TRIPLES
+    sizes_rng = np.random.default_rng(_GRAPH_SEED)
+    num_entities = max(1, int(num_triples / _MEAN_CLUSTER_SIZE))
+    vocab = Vocabulary()
+    vocab.intern_many(f"t{i}" for i in range(num_entities))
+    counts = np.full(num_entities, num_triples // num_entities, dtype=np.int64)
+    counts[: num_triples - int(counts.sum())] += 1
+    subjects = np.repeat(np.arange(num_entities, dtype=np.int32), counts)
+    predicates = sizes_rng.integers(0, num_entities, num_triples, dtype=np.int32)
+    objects = sizes_rng.integers(0, num_entities, num_triples, dtype=np.int32)
+
+    def thaw_once():
+        store = ColumnarStore.from_arrays(vocab, subjects, predicates, objects)
+        store.cluster_size_array()  # force the row table like a real reader
+        started = time.perf_counter()
+        store._thaw()
+        return time.perf_counter() - started
+
+    thaw_seconds = run_once(benchmark, thaw_once)
+    budget = max(0.5, 2.0 * num_triples / 1_000_000)
+    results_dir = os.environ.get("REPRO_BENCH_RESULTS_DIR")
+    if results_dir:
+        Path(results_dir).mkdir(parents=True, exist_ok=True)
+        out = Path(results_dir) / "bench_columnar_thaw.json"
+        with open(out, "w", encoding="utf-8") as f:
+            json.dump(
+                {"num_triples": num_triples, "thaw_seconds": thaw_seconds, "budget": budget}, f
+            )
+    emit(
+        f"Columnar thaw (frozen -> building) at {num_triples:,} triples",
+        f"thaw: {thaw_seconds * 1000:.1f} ms (budget {budget:.1f} s)",
+    )
+    assert thaw_seconds < budget, f"thaw took {thaw_seconds:.2f}s, budget {budget:.2f}s"
+
+
 def test_twcs_estimate_identical_across_backends(benchmark):
     """Same evaluation, fixed seed, both backends -> bit-identical estimate."""
     from conftest import emit, movie_scale, run_once
@@ -299,5 +531,11 @@ if __name__ == "__main__":
         print(json.dumps(_worker_build_snapshot(sys.argv[2])))
     elif role == "columnar":
         print(json.dumps(_worker_columnar(sys.argv[2])))
+    elif role == "build-sqlite":
+        print(json.dumps(_worker_build_sqlite(sys.argv[2], sys.argv[3])))
+    elif role == "columnar-ram":
+        print(json.dumps(_worker_columnar_ram(sys.argv[2])))
+    elif role == "sqlite":
+        print(json.dumps(_worker_sqlite(sys.argv[2])))
     else:  # pragma: no cover
         raise SystemExit(f"unknown worker role {role!r}")

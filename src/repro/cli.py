@@ -46,8 +46,10 @@ Examples
     python -m repro datasets
     python -m repro evaluate --dataset nell --design twcs --moe 0.05 --seed 7
     python -m repro evaluate --dataset nell --backend columnar
+    python -m repro evaluate --dataset nell --backend sqlite
     python -m repro experiment table5 --trials 10
     python -m repro snapshot --dataset movie --out movie.npz --with-labels
+    python -m repro snapshot --dataset movie --out movie.sqlite --backend sqlite --with-labels
     python -m repro evaluate --from-snapshot movie.npz
     python -m repro monitor --dataset movie --backend columnar --batches 5
     python -m repro worker --listen 127.0.0.1:7301 --base-dir /tmp/shards
@@ -71,6 +73,7 @@ import argparse
 import os
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro.core.config import EvaluationConfig
 from repro.core.framework import StaticEvaluator
@@ -159,10 +162,19 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _load_snapshot_dataset(path: str) -> LabelledKG:
-    """Reopen a format-v2 snapshot (graph + label array) as a labelled KG."""
+    """Reopen a persisted graph + label array as a labelled KG.
+
+    Accepts either a format-v2 snapshot (``.npz`` / snapshot directory) or a
+    SQLite database written by ``repro snapshot --backend sqlite`` — the
+    database is detected by its file header and reopened in place, columns
+    staying on disk.
+    """
     from repro.labels.oracle import LabelOracle
     from repro.storage.snapshot import SnapshotStore
+    from repro.storage.sqlite import is_sqlite_file
 
+    if is_sqlite_file(path):
+        return _load_sqlite_dataset(path)
     store = SnapshotStore(path)
     graph = store.load_graph()
     labels = store.load_labels()
@@ -170,6 +182,25 @@ def _load_snapshot_dataset(path: str) -> LabelledKG:
         raise SystemExit(
             f"snapshot {path} carries no label array; re-create it with "
             "`repro snapshot --with-labels`"
+        )
+    oracle = LabelOracle(dict(zip(graph.triples, (bool(v) for v in labels))))
+    return LabelledKG(graph, oracle)
+
+
+def _load_sqlite_dataset(path: str) -> LabelledKG:
+    """Reopen a SQLite graph database (with stored labels) as a labelled KG."""
+    from repro.kg.graph import KnowledgeGraph
+    from repro.labels.oracle import LabelOracle
+    from repro.storage.sqlite import SqliteStore
+
+    store = SqliteStore(path)
+    name = store.graph_name() or Path(path).stem
+    graph = KnowledgeGraph(name=name, backend=store)
+    labels = store.load_labels()
+    if labels is None:
+        raise SystemExit(
+            f"sqlite database {path} carries no label array; re-create it with "
+            "`repro snapshot --backend sqlite --with-labels`"
         )
     oracle = LabelOracle(dict(zip(graph.triples, (bool(v) for v in labels))))
     return LabelledKG(graph, oracle)
@@ -326,6 +357,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         data = _load_dataset(args.dataset, args.seed, args.movie_scale)
     if args.backend == "columnar":
         data = LabelledKG(data.graph.to_columnar(), data.oracle)
+    elif args.backend == "sqlite":
+        data = LabelledKG(data.graph.to_sqlite(), data.oracle)
     if (
         args.workers is not None
         or args.shards is not None
@@ -460,14 +493,22 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     data = _load_dataset(args.dataset, args.seed, args.movie_scale)
     graph = data.graph.to_columnar()
     labels = data.oracle.as_position_array(graph) if args.with_labels else None
-    path = SnapshotStore(args.out).save(
-        graph, name=graph.name, compress=args.compress, labels=labels
-    )
-    layout = "npz archive" if SnapshotStore(path).is_archive else "mmap-able directory"
+    if args.backend == "sqlite":
+        sqlite_graph = graph.to_sqlite(path=args.out)
+        if labels is not None:
+            sqlite_graph.backend.save_labels(labels)
+        path, layout = Path(args.out), "sqlite database (WAL)"
+        label_note = "stored (meta table)"
+    else:
+        path = SnapshotStore(args.out).save(
+            graph, name=graph.name, compress=args.compress, labels=labels
+        )
+        layout = "npz archive" if SnapshotStore(path).is_archive else "mmap-able directory"
+        label_note = "stored (format v2)"
     print(f"dataset  : {graph.name}")
     print(f"entities : {graph.num_entities}")
     print(f"triples  : {graph.num_triples}")
-    print(f"labels   : {'stored (format v2)' if labels is not None else 'not stored'}")
+    print(f"labels   : {label_note if labels is not None else 'not stored'}")
     print(f"snapshot : {path} ({layout})")
     return 0
 
@@ -482,7 +523,9 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.storage.snapshot import SnapshotStore
 
     surface = (
-        "position" if args.backend == "columnar" and args.evaluator != "baseline" else "object"
+        "position"
+        if args.backend in ("columnar", "sqlite") and args.evaluator != "baseline"
+        else "object"
     )
     position_labels = None
     if args.snapshot and SnapshotStore(args.snapshot).exists():
@@ -507,6 +550,12 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         data = _load_dataset(args.dataset, args.seed, args.movie_scale)
         if args.backend == "columnar":
             data = LabelledKG(data.graph.to_columnar(), data.oracle)
+        elif args.backend == "sqlite":
+            # The delta machinery needs a frozen columnar base; the sqlite
+            # round-trip keeps the persistent copy out-of-core while the
+            # derived columns (bit-identical to a direct columnar build)
+            # carry the update stream.
+            data = LabelledKG(data.graph.to_sqlite().to_columnar(), data.oracle)
         if args.snapshot:
             labels = data.oracle.as_position_array(data.graph)
             data.graph.to_columnar().save_snapshot(args.snapshot, labels=labels)
@@ -526,7 +575,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     if parallel_requested and surface != "position":
         raise SystemExit(
             "--workers/--shards/--transport requires the position surface: "
-            "use --backend columnar with --evaluator rs or ss"
+            "use --backend columnar (or sqlite) with --evaluator rs or ss"
         )
     config = _Config(moe_target=args.moe, confidence_level=args.confidence)
     extra = {}
@@ -899,9 +948,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument(
         "--backend",
-        choices=("memory", "columnar"),
+        choices=("memory", "columnar", "sqlite"),
         default="memory",
-        help="storage backend for the evaluated graph (default memory)",
+        help="storage backend for the evaluated graph; 'sqlite' keeps the "
+        "columns in a disk-resident WAL database (default memory)",
     )
     evaluate.add_argument(
         "--from-snapshot",
@@ -965,7 +1015,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         required=True,
         help="target path: *.npz for a single archive, anything else for a "
-        "memory-mappable snapshot directory",
+        "memory-mappable snapshot directory (or a WAL database with "
+        "--backend sqlite)",
+    )
+    snapshot.add_argument(
+        "--backend",
+        choices=("columnar", "sqlite"),
+        default="columnar",
+        help="persistence format: 'columnar' writes a SnapshotStore snapshot, "
+        "'sqlite' writes a disk-resident WAL database that `evaluate "
+        "--from-snapshot` reopens out-of-core (default columnar)",
     )
     snapshot.add_argument("--compress", action="store_true", help="compress the .npz archive")
     snapshot.add_argument(
@@ -984,10 +1043,11 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--dataset", choices=_DATASETS, default="movie")
     monitor.add_argument(
         "--backend",
-        choices=("memory", "columnar"),
+        choices=("memory", "columnar", "sqlite"),
         default="memory",
         help="storage backend; 'columnar' runs the position-surface evaluators "
-        "with zero-copy delta updates (default memory)",
+        "with zero-copy delta updates, 'sqlite' keeps the persistent base "
+        "out-of-core and derives the same columns (default memory)",
     )
     monitor.add_argument(
         "--evaluator",

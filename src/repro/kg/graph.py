@@ -439,6 +439,25 @@ class KnowledgeGraph:
         store.finalize()
         return KnowledgeGraph(name=name if name is not None else self.name, backend=store)
 
+    def to_sqlite(
+        self, path: str | Path | None = None, name: str | None = None
+    ) -> "KnowledgeGraph":
+        """Return this graph re-packed onto a disk-resident SQLite backend.
+
+        Routes through the columnar representation so vocabulary ids, triple
+        positions and entity rows — and therefore every seeded draw — are
+        bit-identical to the columnar backend's.  ``path=None`` uses a
+        private temporary database file.
+        """
+        from repro.storage.sqlite import SqliteStore
+
+        if isinstance(self._backend, SqliteStore):
+            return self
+        graph_name = name if name is not None else self.name
+        columnar = self.to_columnar()
+        store = SqliteStore.from_columnar(columnar.backend, path=path, name=graph_name)
+        return KnowledgeGraph(name=graph_name, backend=store)
+
     def save_snapshot(
         self,
         path: str | Path,

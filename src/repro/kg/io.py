@@ -92,7 +92,7 @@ def read_triples_tsv(
     for line_number, line in _iter_data_lines(path):
         fields = line.split("\t")
         if len(fields) < 3:
-            raise ValueError(f"line {line_number}: expected 3 columns, got {len(fields)}")
+            raise ValueError(f"line {line_number}: expected >= 3 columns, got {len(fields)}")
         graph.add(Triple(fields[0], fields[1], fields[2]))
     return graph
 

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.kg.triple import Triple
 
-__all__ = ["StorageBackend", "StorageStats", "make_backend"]
+__all__ = ["StorageBackend", "StorageStats", "make_backend", "stats_from_moments"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,32 @@ class StorageStats:
         if self.mean_cluster_size <= 0.0:
             return 1.0
         return self.max_cluster_size / self.mean_cluster_size
+
+
+def stats_from_moments(
+    num_triples: int, num_entities: int, max_size: int, sum_squares: int
+) -> StorageStats:
+    """Fold exact integer cluster-size moments into a :class:`StorageStats`.
+
+    Every backend reduces its cluster sizes to the same four integers —
+    triple count (the sizes' sum), entity count, max size, and sum of
+    squared sizes — and this one function does the float math.  Whether the
+    moments came from a NumPy pass or a SQL aggregate, the resulting floats
+    are bit-identical, which keeps the planner's shard decisions (part of a
+    run's random-stream identity) independent of the storage backend.
+    """
+    if num_entities == 0:
+        return StorageStats(0, 0, 0.0, 0, 0.0)
+    mean = num_triples / num_entities
+    variance = max(sum_squares / num_entities - mean * mean, 0.0)
+    std = float(np.sqrt(variance))
+    return StorageStats(
+        num_triples=int(num_triples),
+        num_entities=int(num_entities),
+        mean_cluster_size=mean,
+        max_cluster_size=int(max_size),
+        size_cv=std / mean if mean > 0 else 0.0,
+    )
 
 
 class StorageBackend(ABC):
@@ -171,17 +197,13 @@ class StorageBackend(ABC):
         """
         sizes = np.asarray(self.cluster_size_array(), dtype=np.int64)
         num_entities = int(sizes.shape[0])
-        num_triples = int(sizes.sum()) if num_entities else 0
         if num_entities == 0:
             return StorageStats(0, 0, 0.0, 0, 0.0)
-        mean = num_triples / num_entities
-        std = float(sizes.std())
-        return StorageStats(
-            num_triples=num_triples,
+        return stats_from_moments(
+            num_triples=int(sizes.sum()),
             num_entities=num_entities,
-            mean_cluster_size=mean,
-            max_cluster_size=int(sizes.max()),
-            size_cv=std / mean if mean > 0 else 0.0,
+            max_size=int(sizes.max()),
+            sum_squares=int(np.dot(sizes, sizes)),
         )
 
     def csr_arrays(self) -> tuple[np.ndarray, np.ndarray] | None:
@@ -197,7 +219,7 @@ class StorageBackend(ABC):
 
 
 def make_backend(kind: str) -> StorageBackend:
-    """Instantiate a storage backend by name (``"memory"`` or ``"columnar"``)."""
+    """Instantiate a storage backend by name (``"memory"``, ``"columnar"``, or ``"sqlite"``)."""
     if kind == "memory":
         from repro.storage.memory import InMemoryStore
 
@@ -206,4 +228,10 @@ def make_backend(kind: str) -> StorageBackend:
         from repro.storage.columnar import ColumnarStore
 
         return ColumnarStore()
-    raise ValueError(f"unknown storage backend {kind!r}; choose 'memory' or 'columnar'")
+    if kind == "sqlite":
+        from repro.storage.sqlite import SqliteStore
+
+        return SqliteStore()
+    raise ValueError(
+        f"unknown storage backend {kind!r}; choose 'memory', 'columnar', or 'sqlite'"
+    )

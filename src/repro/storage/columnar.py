@@ -253,15 +253,24 @@ class ColumnarStore(StorageBackend):
     def _thaw(self) -> None:
         """Frozen -> building: move the consolidated columns back to buffers."""
         assert self._col_s is not None
-        self._buf_s = array("i", self._col_s.astype(np.int32, copy=False).tolist())
-        self._buf_p = array("i", self._col_p.astype(np.int32, copy=False).tolist())
-        self._buf_o = array("i", self._col_o.astype(np.int32, copy=False).tolist())
-        self._buf_f = array("B", self._col_f.astype(np.uint8, copy=False).tolist())
+
+        def to_buffer(column: np.ndarray, typecode: str, dtype) -> array:
+            # frombytes is a single memcpy; .tolist() would churn one Python
+            # object per element, which dominates thaw time at millions of
+            # triples.
+            buffer = array(typecode)
+            buffer.frombytes(np.ascontiguousarray(column, dtype=dtype).tobytes())
+            return buffer
+
+        self._buf_s = to_buffer(self._col_s, "i", np.int32)
+        self._buf_p = to_buffer(self._col_p, "i", np.int32)
+        self._buf_o = to_buffer(self._col_o, "i", np.int32)
+        self._buf_f = to_buffer(self._col_f, "B", np.uint8)
         self._ensure_row_table()
         assert self._row_subjects_arr is not None
         sizes = self.cluster_size_array()
         self._row_subjects_list = [int(s) for s in self._row_subjects_arr]
-        self._row_counts = array("q", sizes.tolist())
+        self._row_counts = to_buffer(sizes, "q", np.int64)
         self._subject_row = None  # rebuilt lazily on next append
         self._col_s = self._col_p = self._col_o = self._col_f = None
         self._offsets = self._positions = self._row_subjects_arr = None

@@ -18,8 +18,14 @@ Supported formats:
   columns (ignored); blank lines and ``#`` comments skipped.
 * **N-Triples (subset)** — ``<s> <p> <o> .`` / ``<s> <p> "literal" .`` lines.
   IRIs are stripped of their angle brackets; an object in angle brackets is
-  recorded as an entity object.  Full Turtle (prefixes, bnodes, datatype
-  tags with embedded spaces) is out of scope.
+  recorded as an entity object.  Literals are *normalised to their bare
+  lexical form*: the N-Triples escape sequences (``\\"``, ``\\\\``, ``\\n``,
+  ``\\t``, ``\\r``, ``\\uXXXX``, ``\\UXXXXXXXX``) are decoded and any
+  ``@lang`` or ``^^<datatype IRI>`` suffix is stripped, so the interned
+  vocabulary string is identical to what the Triple-object loader would
+  intern for the same logical value.  Malformed escapes raise ``ValueError``
+  with the offending line number.  Full Turtle (prefixes, bnodes) is out of
+  scope.
 """
 
 from __future__ import annotations
@@ -46,15 +52,88 @@ def iter_tsv_rows(path: str | Path) -> Iterator[Row]:
     for line_number, line in _iter_data_lines(Path(path)):
         fields = line.split("\t")
         if len(fields) < 3:
-            raise ValueError(f"line {line_number}: expected 3 columns, got {len(fields)}")
+            raise ValueError(f"line {line_number}: expected >= 3 columns, got {len(fields)}")
         yield fields[0], fields[1], fields[2], False
 
 
-def _strip_term(term: str) -> tuple[str, bool]:
+#: Single-character N-Triples string escapes (``ECHAR`` in the grammar).
+_ECHAR = {
+    '"': '"',
+    "'": "'",
+    "\\": "\\",
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+}
+
+_HEX_DIGITS = set("0123456789abcdefABCDEF")
+
+
+def _decode_escapes(text: str, line_number: int) -> str:
+    """Decode N-Triples ``ECHAR`` / ``\\uXXXX`` / ``\\UXXXXXXXX`` escapes.
+
+    Malformed escapes raise :class:`ValueError` carrying the line number —
+    silently interning a corrupt string would poison the vocabulary.
+    """
+    if "\\" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char != "\\":
+            out.append(char)
+            i += 1
+            continue
+        if i + 1 >= length:
+            raise ValueError(f"line {line_number}: dangling escape at end of literal {text!r}")
+        code = text[i + 1]
+        if code in _ECHAR:
+            out.append(_ECHAR[code])
+            i += 2
+            continue
+        if code in ("u", "U"):
+            width = 4 if code == "u" else 8
+            digits = text[i + 2 : i + 2 + width]
+            if len(digits) != width or not set(digits) <= _HEX_DIGITS:
+                raise ValueError(
+                    f"line {line_number}: malformed \\{code} escape in literal {text!r}"
+                )
+            out.append(chr(int(digits, 16)))
+            i += 2 + width
+            continue
+        raise ValueError(f"line {line_number}: unknown escape '\\{code}' in literal {text!r}")
+    return "".join(out)
+
+
+def _strip_term(term: str, line_number: int = 0) -> tuple[str, bool]:
+    """Normalise one N-Triples term to ``(vocab string, is-entity)``.
+
+    IRIs lose their angle brackets.  Literals are reduced to the bare lexical
+    form: the closing quote is located respecting backslash escapes, any
+    ``@lang`` / ``^^<datatype IRI>`` suffix is dropped, and the escape
+    sequences inside the body are decoded — so the interned string matches
+    what the Triple-object loader interns for the same logical value.
+    """
     if term.startswith("<") and term.endswith(">"):
         return term[1:-1], True
-    if term.startswith('"') and term.endswith('"'):
-        return term[1:-1], False
+    if term.startswith('"'):
+        i = 1
+        length = len(term)
+        while i < length and term[i] != '"':
+            i += 2 if term[i] == "\\" else 1
+        if i >= length:
+            raise ValueError(f"line {line_number}: unterminated literal {term!r}")
+        body = term[1:i]
+        suffix = term[i + 1 :]
+        if suffix and not (
+            suffix.startswith("@") or (suffix.startswith("^^<") and suffix.endswith(">"))
+        ):
+            raise ValueError(f"line {line_number}: malformed literal suffix {suffix!r}")
+        return _decode_escapes(body, line_number), False
     return term, False
 
 
@@ -71,9 +150,9 @@ def iter_nt_rows(path: str | Path) -> Iterator[Row]:
             parts = line.split(None, 2)
             if len(parts) != 3:
                 raise ValueError(f"line {line_number}: expected '<s> <p> <o> .'")
-            subject, _ = _strip_term(parts[0])
-            predicate, _ = _strip_term(parts[1])
-            obj, is_entity = _strip_term(parts[2])
+            subject, _ = _strip_term(parts[0], line_number)
+            predicate, _ = _strip_term(parts[1], line_number)
+            obj, is_entity = _strip_term(parts[2], line_number)
             yield subject, predicate, obj, is_entity
 
 

@@ -38,6 +38,20 @@ def labelled():
     return LabelledKG(graph, data.oracle), data.oracle.as_position_array(graph)
 
 
+@pytest.fixture(scope="module")
+def labelled_sqlite():
+    """The same labelled graph re-packed onto the out-of-core sqlite backend.
+
+    Replaying the *same* golden files against this fixture is the storage
+    contract made executable: a disk-resident backend may change where the
+    bytes live, never what the engine draws.
+    """
+    data = make_nell_like(seed=0)
+    graph = data.graph.to_columnar()
+    labels = data.oracle.as_position_array(graph)
+    return LabelledKG(graph.to_sqlite(), data.oracle), labels
+
+
 def _strata_rows(graph) -> list[np.ndarray]:
     return [
         np.fromiter(
@@ -97,13 +111,31 @@ def test_engine_stratified_trajectory_is_pinned(labelled, golden, allocation):
     )
 
 
-@pytest.mark.parametrize(
-    "kind, cls",
-    [("rs", ReservoirIncrementalEvaluator), ("ss", StratifiedIncrementalEvaluator)],
-)
-def test_evolving_trajectory_is_pinned(golden, kind, cls):
-    data = make_nell_like(seed=0)
-    base = LabelledKG(data.graph.to_columnar(), data.oracle)
+@pytest.mark.parametrize("design", PARALLEL_DESIGNS)
+def test_engine_design_trajectory_replays_on_sqlite(labelled_sqlite, golden, design):
+    """The sqlite backend replays the columnar-pinned goldens bit-for-bit."""
+    data, labels = labelled_sqlite
+    golden.check(
+        f"engine_{design}", _engine_trajectory(data.graph, labels, design)
+    )
+
+
+@pytest.mark.parametrize("allocation", ["proportional", "neyman"])
+def test_engine_stratified_trajectory_replays_on_sqlite(labelled_sqlite, golden, allocation):
+    data, labels = labelled_sqlite
+    golden.check(
+        f"engine_twcs_strat_{allocation}",
+        _engine_trajectory(
+            data.graph,
+            labels,
+            "twcs",
+            strata=_strata_rows(data.graph),
+            allocation=allocation,
+        ),
+    )
+
+
+def _evolving_trajectory(base, cls):
     evaluator = cls(
         base, config=EvaluationConfig(moe_target=0.06), seed=_SEED, surface="position"
     )
@@ -124,4 +156,27 @@ def test_evolving_trajectory_is_pinned(golden, kind, cls):
         for entry in evaluator.history
     ]
     trajectory.append({"true_accuracy": float(evaluator.current_true_accuracy())})
-    golden.check(f"evolving_{kind}", trajectory)
+    return trajectory
+
+
+@pytest.mark.parametrize(
+    "kind, cls",
+    [("rs", ReservoirIncrementalEvaluator), ("ss", StratifiedIncrementalEvaluator)],
+)
+def test_evolving_trajectory_is_pinned(golden, kind, cls):
+    data = make_nell_like(seed=0)
+    base = LabelledKG(data.graph.to_columnar(), data.oracle)
+    golden.check(f"evolving_{kind}", _evolving_trajectory(base, cls))
+
+
+@pytest.mark.parametrize(
+    "kind, cls",
+    [("rs", ReservoirIncrementalEvaluator), ("ss", StratifiedIncrementalEvaluator)],
+)
+def test_evolving_trajectory_replays_via_sqlite_base(golden, kind, cls):
+    """A base graph persisted to sqlite and re-derived as columns (the
+    ``monitor --backend sqlite`` path) carries the identical pinned
+    trajectory: the delta machinery sees bit-identical base columns."""
+    data = make_nell_like(seed=0)
+    base = LabelledKG(data.graph.to_columnar().to_sqlite().to_columnar(), data.oracle)
+    golden.check(f"evolving_{kind}", _evolving_trajectory(base, cls))

@@ -101,7 +101,7 @@ class TestIO:
     def test_read_triples_rejects_short_lines(self, tmp_path):
         path = tmp_path / "bad.tsv"
         path.write_text("e1\tp\n", encoding="utf-8")
-        with pytest.raises(ValueError, match="expected 3 columns"):
+        with pytest.raises(ValueError, match="expected >= 3 columns"):
             read_triples_tsv(path)
 
     def test_read_labelled_rejects_bad_label(self, tmp_path):

@@ -23,7 +23,7 @@ from repro.sampling.srs import SimpleRandomDesign
 from repro.sampling.tsrcs import TwoStageRandomClusterDesign
 from repro.sampling.twcs import TwoStageWeightedClusterDesign
 from repro.sampling.wcs import WeightedClusterDesign
-from repro.storage import ColumnarStore, InMemoryStore, SnapshotStore
+from repro.storage import ColumnarStore, InMemoryStore, SnapshotStore, SqliteStore
 from repro.storage.ingest import ingest_nt, ingest_rows, ingest_tsv
 
 # --------------------------------------------------------------------------- #
@@ -90,6 +90,34 @@ class TestBackendEquivalence:
         columnar.add_all(second)
         _assert_same_graph(memory, columnar)
 
+    @given(_triple_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_sqlite_add_path_matches_memory(self, triples):
+        memory = KnowledgeGraph(triples, backend="memory")
+        sqlite = KnowledgeGraph(triples, backend="sqlite")
+        assert memory.num_triples == sqlite.num_triples
+        assert memory.num_entities == sqlite.num_entities
+        _assert_same_graph(memory, sqlite)
+        for triple in triples:
+            assert (triple in memory) == (triple in sqlite)
+        assert not sqlite.backend.contains(Triple("never", "seen", "this"))
+        assert memory.backend.stats() == sqlite.backend.stats()
+
+    @given(_triple_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_sqlite_csr_matches_columnar(self, triples):
+        columnar = KnowledgeGraph(triples, backend="columnar")
+        sqlite = KnowledgeGraph(triples, backend="sqlite")
+        col_csr = columnar.backend.csr_arrays()
+        sq_csr = sqlite.backend.csr_arrays()
+        assert col_csr is not None and sq_csr is not None
+        assert np.array_equal(np.asarray(col_csr[0]), np.asarray(sq_csr[0]))
+        assert np.array_equal(np.asarray(col_csr[1]), np.asarray(sq_csr[1]))
+        for columns_left, columns_right in zip(
+            columnar.backend.id_columns(), sqlite.backend.id_columns()
+        ):
+            assert np.array_equal(np.asarray(columns_left), np.asarray(columns_right))
+
     def test_make_backend_rejects_unknown_name(self):
         with pytest.raises(ValueError):
             KnowledgeGraph(backend="papyrus")
@@ -98,6 +126,7 @@ class TestBackendEquivalence:
         graph = toy_graph
         assert isinstance(graph.copy().backend, InMemoryStore)
         assert isinstance(graph.to_columnar().copy().backend, ColumnarStore)
+        assert isinstance(graph.to_sqlite().copy().backend, SqliteStore)
 
 
 # --------------------------------------------------------------------------- #
@@ -289,6 +318,134 @@ class TestStreamingIngest:
         bad_nt.write_text("<s> <p> .\n", encoding="utf-8")
         with pytest.raises(ValueError):
             ingest_nt(bad_nt)
+
+    def test_extra_tsv_columns_ignored_on_both_paths(self, tmp_path):
+        """The docstring promises extra columns are ignored; a 4-column line
+        must load (not raise) on both the object and streaming TSV paths."""
+        path = tmp_path / "wide.tsv"
+        path.write_text("a\tp\tx\textra-column\nb\tq\ty\n", encoding="utf-8")
+        via_objects = read_triples_tsv(path)
+        via_stream = read_triples_tsv(path, backend="columnar")
+        expected = (Triple("a", "p", "x"), Triple("b", "q", "y"))
+        assert tuple(via_objects) == expected
+        assert tuple(via_stream) == expected
+        _assert_same_graph(via_objects, via_stream)
+
+    def test_short_tsv_line_message_says_at_least_three(self, tmp_path):
+        path = tmp_path / "short.tsv"
+        path.write_text("a\tp\n", encoding="utf-8")
+        for backend in ("memory", "columnar"):
+            with pytest.raises(ValueError, match=r"expected >= 3 columns"):
+                read_triples_tsv(path, backend=backend)
+
+    def test_nt_escapes_decode_to_bare_lexical_form(self, tmp_path):
+        """NT-vs-object load parity for escaped, language-tagged, and
+        datatyped literals: both paths must intern the same vocab strings."""
+        path = tmp_path / "lit.nt"
+        path.write_text(
+            '<http://x/e1> <http://x/says> "a\\"b\\\\c" .\n'
+            '<http://x/e1> <http://x/motto> "line1\\nline2\\ttabbed\\rret" .\n'
+            '<http://x/e2> <http://x/name> "Ada"@en .\n'
+            '<http://x/e2> <http://x/age> "36"^^<http://www.w3.org/2001/XMLSchema#int> .\n'
+            '<http://x/e3> <http://x/greek> "\\u03b1\\U0001F600" .\n',
+            encoding="utf-8",
+        )
+        via_stream = ingest_nt(path)
+        expected = [
+            Triple("http://x/e1", "http://x/says", 'a"b\\c'),
+            Triple("http://x/e1", "http://x/motto", "line1\nline2\ttabbed\rret"),
+            Triple("http://x/e2", "http://x/name", "Ada"),
+            Triple("http://x/e2", "http://x/age", "36"),
+            Triple("http://x/e3", "http://x/greek", "α\U0001f600"),
+        ]
+        assert list(via_stream) == expected
+        via_objects = KnowledgeGraph(expected, backend="memory")
+        _assert_same_graph(via_objects, via_stream)
+
+    @pytest.mark.parametrize(
+        "literal",
+        ['"a\\" .', '"bad\\u12G4" .', '"short\\u12" .', '"what\\q" .', '"open .'],
+        ids=["escaped-close-quote", "bad-hex", "short-hex", "unknown-escape", "unterminated"],
+    )
+    def test_malformed_nt_escapes_raise_with_line_number(self, tmp_path, literal):
+        path = tmp_path / "bad-escape.nt"
+        path.write_text(f"<s> <p> <o> .\n<s2> <p> {literal}\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"line 2"):
+            ingest_nt(path)
+
+    def test_malformed_literal_suffix_raises(self, tmp_path):
+        path = tmp_path / "bad-suffix.nt"
+        path.write_text('<s> <p> "x"junk .\n', encoding="utf-8")
+        with pytest.raises(ValueError, match=r"line 1.*suffix"):
+            ingest_nt(path)
+
+
+# --------------------------------------------------------------------------- #
+# Loader parity: object / TSV / NT / SQLite ingest
+# --------------------------------------------------------------------------- #
+def _column_digest(store) -> str:
+    import hashlib
+
+    digest = hashlib.sha256()
+    subjects, predicates, objects, flags = store.id_columns()
+    for column, dtype in (
+        (subjects, np.int32),
+        (predicates, np.int32),
+        (objects, np.int32),
+        (flags, np.uint8),
+    ):
+        digest.update(np.ascontiguousarray(np.asarray(column), dtype=dtype).tobytes())
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+class TestLoaderParity:
+    """Any loader, same bytes: Triple objects, TSV, NT, and SQLite ingest
+    must produce identical id columns and identical planner stats."""
+
+    # Flags stay False: TSV cannot carry the entity-object flag, so the
+    # four-way comparison uses literal objects everywhere.
+    _flat_triples = st.lists(
+        st.builds(
+            Triple,
+            st.integers(0, 8).map(lambda i: f"s{i}"),
+            st.sampled_from(["p0", "p1", "p2"]),
+            st.integers(0, 12).map(lambda o: f"o{o}"),
+        ),
+        max_size=50,
+    )
+
+    @given(_flat_triples)
+    @settings(max_examples=20, deadline=None)
+    def test_four_loaders_agree(self, triples):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            tsv_path = Path(tmp) / "kg.tsv"
+            nt_path = Path(tmp) / "kg.nt"
+            tsv_path.write_text(
+                "".join(f"{t.subject}\t{t.predicate}\t{t.obj}\n" for t in triples),
+                encoding="utf-8",
+            )
+            nt_path.write_text(
+                "".join(f"<{t.subject}> <{t.predicate}> \"{t.obj}\" .\n" for t in triples),
+                encoding="utf-8",
+            )
+            via_objects = KnowledgeGraph(triples, backend="columnar")
+            via_objects.backend.finalize()
+            via_tsv = ingest_tsv(tsv_path)
+            via_nt = ingest_nt(nt_path)
+            sqlite_store = SqliteStore()
+            sqlite_store.ingest_file(tsv_path, "tsv", batch_size=7)
+            reference = _column_digest(via_objects.backend)
+            assert _column_digest(via_tsv.backend) == reference
+            assert _column_digest(via_nt.backend) == reference
+            assert _column_digest(sqlite_store) == reference
+            reference_stats = via_objects.backend.stats()
+            assert via_tsv.backend.stats() == reference_stats
+            assert via_nt.backend.stats() == reference_stats
+            assert sqlite_store.stats() == reference_stats
 
 
 # --------------------------------------------------------------------------- #
