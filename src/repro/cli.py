@@ -31,6 +31,14 @@ Five commands cover the common workflows:
   authenticated/elastic clusters) — trajectories are bit-identical to
   ``--workers`` (pool) and ``--workers 0`` (serial) runs with the same
   ``--shards``;
+* ``serve`` — run the long-lived multi-session evaluation daemon: graphs stay
+  attached across requests, sessions multiplex over one transport fleet, the
+  latest estimate of every session is an O(1) cached read, and SIGTERM drains
+  gracefully (finish in-flight rounds, checkpoint every session to
+  ``--state-dir``, export ``--metrics-out``);
+* ``client`` — talk to a running daemon: ``run`` (the served twin of
+  ``monitor`` — bit-identical trajectories), ``estimate`` (non-blocking
+  cached read), ``poll`` (threshold wait), ``sessions`` and ``detach``;
 * ``planner`` — inspect (``show``) or regenerate (``calibrate``) the adaptive
   transport planner's calibration profile.  ``evaluate``/``monitor`` default
   to ``--transport auto``: the shard plan (part of a run's random-stream
@@ -58,8 +66,12 @@ Examples
     python -m repro evaluate --dataset nell --workers 2 \\
         --log-json run.jsonl --metrics-out master.json
     python -m repro metrics summarize master.json worker1.json
+    python -m repro serve --listen 127.0.0.1:7400 --state-dir /tmp/serve-state
+    python -m repro client run --connect 127.0.0.1:7400 --dataset nell \\
+        --evaluator ss --batches 2
+    python -m repro client estimate --connect 127.0.0.1:7400 --session session-1
 
-``evaluate``, ``monitor`` and ``worker`` all accept ``--log-json PATH`` /
+``evaluate``, ``monitor``, ``worker`` and ``serve`` all accept ``--log-json PATH`` /
 ``--log-level`` (structured JSON-lines logs with RPC-propagated trace spans)
 and ``--metrics-out PATH`` (a mergeable metrics snapshot written on exit);
 ``metrics summarize`` renders any set of snapshots as per-shard and per-node
@@ -650,13 +662,18 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
     # An orderly SIGTERM (chaos-suite teardown, service managers) must still
     # run main()'s finally block so --metrics-out snapshots get written.
+    # SIGINT gets the identical handler: a Ctrl-C'd worker converts to
+    # SystemExit(0) at a deterministic point instead of unwinding a
+    # KeyboardInterrupt from an arbitrary bytecode boundary (mid-export,
+    # mid-store), so the metrics snapshot survives interactive shutdowns too.
     def _on_term(signum, frame):  # pragma: no cover - signal path
         raise SystemExit(0)
 
-    try:
-        signal.signal(signal.SIGTERM, _on_term)
-    except ValueError:  # pragma: no cover - not the main thread (tests)
-        pass
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _on_term)
+        except ValueError:  # pragma: no cover - not the main thread (tests)
+            pass
 
     if args.join:
         # Elastic membership: dial a running master and serve it over the
@@ -703,6 +720,185 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         pass
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the long-lived multi-session evaluation daemon."""
+    import signal
+    import threading
+
+    from repro.sampling.rpc import load_secret_file, parse_node_address
+    from repro.serve.server import EvalServer
+
+    secret = _load_cli_secret(args)
+    fleet_secret = None
+    if args.fleet_secret_file:
+        try:
+            fleet_secret = load_secret_file(args.fleet_secret_file)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot read --fleet-secret-file {args.fleet_secret_file}: {exc}"
+            ) from exc
+    host, port = parse_node_address(args.listen)
+    server = EvalServer(
+        host,
+        port,
+        secret=secret,
+        fleet_secret=fleet_secret,
+        state_dir=args.state_dir,
+        queue_limit=args.queue_limit,
+        root_seed=args.root_seed,
+    )
+
+    # SIGTERM/SIGINT request a *drain*, not an exit: set the stop event and
+    # return to the foreground wait, which finishes every admitted round,
+    # checkpoints all sessions, and falls through to main()'s finally block
+    # so --metrics-out captures the daemon's full lifetime.
+    stop = threading.Event()
+
+    def _on_term(signum, frame):  # pragma: no cover - signal path
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _on_term)
+        except ValueError:  # pragma: no cover - not the main thread (tests)
+            pass
+
+    bound_host, bound_port = server.start()
+    args.obs_node_id = f"{bound_host}:{bound_port}"
+    # Single parseable line: launchers using port 0 read the real port.
+    print(f"serve listening on {bound_host}:{bound_port}", flush=True)
+    if args.state_dir:
+        print(f"state dir          {args.state_dir}", flush=True)
+    try:
+        server.wait(stop)
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    print("serve draining", flush=True)
+    server.shutdown(drain=True)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """``repro client``: talk to a running serve daemon."""
+    from repro.serve.client import ServeClient, ServeRequestError
+
+    secret = _load_cli_secret(args)
+
+    def record_row(entry: dict) -> str:
+        record = entry["record"]
+        return (
+            f"{record.batch_index:>5}  {record.estimated_accuracy:7.1%}  "
+            f"{record.true_accuracy:6.1%}  {record.margin_of_error:5.3f}  "
+            f"{record.incremental_cost_hours:12.2f}  {record.cumulative_cost_hours:12.2f}"
+        )
+
+    try:
+        with ServeClient(args.connect, secret=secret) as client:
+            if args.client_command == "run":
+                return _client_run(args, client, record_row)
+            if args.client_command == "estimate":
+                reply = client.estimate(args.session)
+                print(f"session  : {reply['session']}")
+                print(f"records  : {reply['num_records']}  pending: {reply['pending']}")
+                if reply["failed"]:
+                    print(f"failed   : {reply['failed']}")
+                    return 1
+                if reply["latest"] is None:
+                    print("estimate : (no completed rounds yet)")
+                    return 0
+                print("batch  estimate  truth   MoE    batch-cost(h)  total-cost(h)")
+                print(record_row(reply["latest"]))
+                return 0
+            if args.client_command == "poll":
+                reply = client.poll(
+                    args.session,
+                    min_records=args.min_records,
+                    moe_below=args.moe_below,
+                    timeout=args.timeout,
+                )
+                state = "satisfied" if reply["satisfied"] else "timeout"
+                print(f"session  : {reply['session']}  ({state})")
+                if reply["failed"]:
+                    print(f"failed   : {reply['failed']}")
+                if reply["latest"] is not None:
+                    print("batch  estimate  truth   MoE    batch-cost(h)  total-cost(h)")
+                    print(record_row(reply["latest"]))
+                return 0 if reply["satisfied"] else 1
+            if args.client_command == "sessions":
+                entries = client.sessions()["entries"]
+                if not entries:
+                    print("(no attached sessions)")
+                    return 0
+                print("session                evaluator  dataset     records  pending")
+                for entry in entries:
+                    failed = "  FAILED" if entry["failed"] else ""
+                    print(
+                        f"{entry['session']:<22} {entry['evaluator']:<10} "
+                        f"{str(entry['dataset']):<11} {entry['num_records']:>7}  "
+                        f"{entry['pending']:>7}{failed}"
+                    )
+                return 0
+            if args.client_command == "detach":
+                reply = client.detach(args.session)
+                print(f"detached : {reply['session']}")
+                return 0
+    except ServeRequestError as exc:
+        print(f"serve error [{exc.code}]: {exc}", flush=True)
+        return 1
+    raise SystemExit(f"unknown client command {args.client_command!r}")
+
+
+def _client_run(args: argparse.Namespace, client, record_row) -> int:
+    """Drive one monitoring session through the daemon (mirrors ``monitor``)."""
+    from repro.generators.workload import UpdateWorkloadGenerator
+
+    # The workload stream is generated client-side from the same dataset the
+    # daemon attaches, exactly like an external update producer would.
+    data = _load_dataset(args.dataset, args.seed, args.movie_scale)
+    data = LabelledKG(data.graph.to_columnar(), data.oracle)
+    spec: dict = {
+        "dataset": args.dataset,
+        "dataset_seed": args.seed,
+        "movie_scale": args.movie_scale,
+        "evaluator": args.evaluator,
+        "seed": args.seed,
+        "moe": args.moe,
+        "confidence": args.confidence,
+    }
+    engine = {
+        key: value
+        for key, value in (
+            ("transport", args.transport),
+            ("workers", args.workers),
+            ("shards", args.shards),
+            ("nodes", args.nodes.split(",") if args.nodes else None),
+            ("rpc_window", args.rpc_window),
+        )
+        if value is not None
+    }
+    if engine:
+        spec["engine"] = engine
+    reply = client.attach(spec, session=args.session)
+    session = reply["session"]
+    resumed = " (resumed)" if reply.get("resumed") else ""
+    print(f"session  : {session}{resumed} seed={reply['seed']}")
+    workload = UpdateWorkloadGenerator(data, seed=args.seed)
+    batch_size = max(1, int(round(args.batch_fraction * data.graph.num_triples)))
+    for batch, batch_oracle in workload.generate_sequence(
+        args.batches, batch_size, args.update_accuracy
+    ):
+        client.submit_batch(session, batch, batch_oracle)
+    entries = client.trajectory(session)["entries"]
+    print(f"evaluator: {args.evaluator} (served by {args.connect})")
+    print("batch  estimate  truth   MoE    batch-cost(h)  total-cost(h)")
+    for entry in entries:
+        print(record_row(entry))
+    if args.detach:
+        client.detach(session)
+    final = entries[-1]["record"]
+    return 0 if final.estimation_error <= max(2 * args.moe, 0.15) else 1
 
 
 _EXPERIMENTS = {
@@ -796,7 +992,7 @@ def _cmd_planner(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 # Observability wiring
 # --------------------------------------------------------------------------- #
-_OBS_COMMANDS = ("evaluate", "monitor", "worker")
+_OBS_COMMANDS = ("evaluate", "monitor", "worker", "serve")
 
 
 def _add_obs_options(parser: argparse.ArgumentParser) -> None:
@@ -1167,6 +1363,198 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_options(worker)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived multi-session evaluation daemon",
+    )
+    serve.add_argument(
+        "--listen",
+        default="127.0.0.1:7400",
+        help="address to listen on as host:port (port 0 picks a free port, "
+        "printed on startup; default 127.0.0.1:7400)",
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        dest="state_dir",
+        help="checkpoint directory: a draining daemon (SIGTERM) checkpoints "
+        "every session here, and a restart on the same directory resumes "
+        "them with bit-identical future trajectories",
+    )
+    serve.add_argument(
+        "--secret-file",
+        default=None,
+        dest="secret_file",
+        help="file holding the client-authentication secret; every connection "
+        "must pass the mutual HMAC handshake (omit for the empty secret — "
+        "loopback testing only)",
+    )
+    serve.add_argument(
+        "--fleet-secret-file",
+        default=None,
+        dest="fleet_secret_file",
+        help="separate secret for the worker fleet that sessions with an rpc "
+        "engine dial (`repro worker` nodes); client and fleet secrets are "
+        "distinct trust domains",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        dest="queue_limit",
+        help="admission-queue bound: submits beyond this many queued rounds "
+        "are refused with a typed backpressure error (default 16)",
+    )
+    serve.add_argument(
+        "--root-seed",
+        type=int,
+        default=0,
+        dest="root_seed",
+        help="entropy root for the per-session SeedSequence streams handed "
+        "to sessions that omit an explicit seed (default 0)",
+    )
+    _add_obs_options(serve)
+
+    client_common = argparse.ArgumentParser(add_help=False)
+    client_common.add_argument(
+        "--connect",
+        required=True,
+        help="address (host:port) of the serve daemon",
+    )
+    client_common.add_argument(
+        "--secret-file",
+        default=None,
+        dest="secret_file",
+        help="file holding the daemon's client-authentication secret",
+    )
+    client = subparsers.add_parser(
+        "client",
+        help="talk to a running serve daemon",
+    )
+    client_sub = client.add_subparsers(dest="client_command", required=True)
+    client_run = client_sub.add_parser(
+        "run",
+        parents=[common, client_common],
+        help="drive one monitoring session through the daemon (the served "
+        "twin of `repro monitor`; trajectories are bit-identical)",
+    )
+    client_run.add_argument("--dataset", choices=_DATASETS, default="movie")
+    client_run.add_argument(
+        "--session",
+        default=None,
+        help="session name (re-attaching an existing name with the same spec "
+        "resumes it; default: daemon-assigned)",
+    )
+    client_run.add_argument(
+        "--evaluator",
+        choices=("rs", "ss"),
+        default="ss",
+        help="incremental evaluator: reservoir (Alg. 1) or stratified "
+        "(Alg. 2; default ss)",
+    )
+    client_run.add_argument(
+        "--batches", type=int, default=3, help="number of update batches (default 3)"
+    )
+    client_run.add_argument(
+        "--batch-fraction",
+        type=float,
+        default=0.1,
+        dest="batch_fraction",
+        help="update batch size as a fraction of the base KG (default 0.1)",
+    )
+    client_run.add_argument(
+        "--update-accuracy",
+        type=float,
+        default=0.8,
+        dest="update_accuracy",
+        help="accuracy of inserted triples (default 0.8)",
+    )
+    client_run.add_argument("--moe", type=float, default=0.05, help="margin-of-error target")
+    client_run.add_argument(
+        "--confidence", type=float, default=0.95, help="confidence level (default 0.95)"
+    )
+    client_run.add_argument(
+        "--transport",
+        choices=("serial", "pool", "shm", "rpc"),
+        default=None,
+        help="ask the daemon to run this session's draw loops on a specific "
+        "transport (default: the daemon's classic single-stream loop)",
+    )
+    client_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the session's pool/shm engine request",
+    )
+    client_run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for the session's engine request (part of the "
+        "random-stream identity)",
+    )
+    client_run.add_argument(
+        "--nodes",
+        default=None,
+        help="comma-separated worker addresses for --transport rpc (the "
+        "daemon dials them with its --fleet-secret-file)",
+    )
+    client_run.add_argument(
+        "--rpc-window",
+        type=int,
+        default=None,
+        dest="rpc_window",
+        help="maximum in-flight tasks per worker node for --transport rpc",
+    )
+    client_run.add_argument(
+        "--detach",
+        action="store_true",
+        help="detach (and drop) the session after printing the trajectory",
+    )
+    client_estimate = client_sub.add_parser(
+        "estimate",
+        parents=[client_common],
+        help="O(1) read of a session's latest cached estimate (never samples)",
+    )
+    client_estimate.add_argument("--session", required=True, help="session name")
+    client_poll = client_sub.add_parser(
+        "poll",
+        parents=[client_common],
+        help="block until a session's trajectory satisfies a threshold",
+    )
+    client_poll.add_argument("--session", required=True, help="session name")
+    client_poll.add_argument(
+        "--min-records",
+        type=int,
+        default=None,
+        dest="min_records",
+        help="wait until at least this many rounds completed",
+    )
+    client_poll.add_argument(
+        "--moe-below",
+        type=float,
+        default=None,
+        dest="moe_below",
+        help="wait until the latest margin of error drops below this",
+    )
+    client_poll.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="maximum seconds to wait (default 30)",
+    )
+    client_sub.add_parser(
+        "sessions",
+        parents=[client_common],
+        help="list the daemon's attached sessions",
+    )
+    client_detach = client_sub.add_parser(
+        "detach",
+        parents=[client_common],
+        help="detach a session (refused while rounds are pending)",
+    )
+    client_detach.add_argument("--session", required=True, help="session name")
+
     metrics = subparsers.add_parser(
         "metrics",
         help="inspect metrics snapshots written by --metrics-out",
@@ -1235,6 +1623,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "monitor": _cmd_monitor,
         "experiment": _cmd_experiment,
         "worker": _cmd_worker,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
         "metrics": _cmd_metrics,
         "planner": _cmd_planner,
     }

@@ -508,7 +508,15 @@ _WARM_POOL_LIMIT = 2
 
 def _discard_warm_pool(key: tuple) -> None:
     pool, attach_key, _pinned = _WARM_POOLS.pop(key)
-    pool.shutdown(wait=True)
+    try:
+        pool.shutdown(wait=True)
+    except Exception:
+        # A parked pool whose worker processes already died (SIGKILL'd
+        # children, a broken fork context at interpreter exit) may raise from
+        # shutdown; the entry is already unregistered, and one corpse must
+        # not stop the remaining pools — or the atexit hook — from cleaning
+        # up.
+        pass
     if attach_key is not None:
         _ATTACH_REGISTRY.pop(attach_key, None)
 
@@ -523,7 +531,13 @@ def _park_warm_pool(
 
 
 def shutdown_warm_pools() -> None:
-    """Shut down every parked keep-alive worker pool (also runs at exit)."""
+    """Shut down every parked keep-alive worker pool (also runs at exit).
+
+    Idempotent: an explicit call (a draining ``repro serve`` daemon, a test's
+    teardown) empties the registry, and the ``atexit`` hook re-running over
+    the already-empty registry is a no-op.  Pools that fail to shut down are
+    discarded anyway — see :func:`_discard_warm_pool`.
+    """
     while _WARM_POOLS:
         _discard_warm_pool(next(iter(_WARM_POOLS)))
 

@@ -424,19 +424,27 @@ def _serve_connection(
     idle_timeout: float | None,
 ) -> None:
     with conn:
-        # Any per-message failure — master vanished mid-frame, RST while we
-        # reply to an in-flight task, garbage that fails the codec's CRC or
-        # schema checks, an unauthenticated client — drops *this* connection
-        # only; the worker keeps listening for the next master.  (Task
-        # execution errors are replied, not raised.)  The generous
-        # idle_timeout applies only *after* authentication; the handshake
-        # itself runs under the short pre-auth deadline set by the caller.
+        # An expected per-message failure — master vanished mid-frame, RST
+        # while we reply to an in-flight task, garbage that fails the codec's
+        # CRC or schema checks, an unauthenticated client — drops *this*
+        # connection only; the worker keeps listening for the next master.
+        # Every socket failure is an OSError (timeouts included) and every
+        # protocol malformation surfaces as RPCError, so the catch is exactly
+        # that pair: a genuine worker-side bug propagates instead of
+        # vanishing without a trace.  (Task execution errors are replied, not
+        # raised.)  The generous idle_timeout applies only *after*
+        # authentication; the handshake itself runs under the short pre-auth
+        # deadline set by the caller.
         try:
             if not _handshake_server(conn, cache, secret):
                 return
             conn.settimeout(idle_timeout)
             _serve_ops(conn, cache, task_delay)
-        except Exception:
+        except (OSError, RPCError) as exc:
+            obs_metrics.counter("rpc_conn_errors_total").inc()
+            _worker_log.warning(
+                "conn_error", error=type(exc).__name__, detail=str(exc)
+            )
             return
 
 

@@ -132,10 +132,19 @@ def _make_pool(workers: int) -> ProcessPoolExecutor:
 
 
 def shutdown_warm_pools() -> None:
-    """Shut down every parked shared-memory worker pool (also runs at exit)."""
+    """Shut down every parked shared-memory worker pool (also runs at exit).
+
+    Idempotent (explicit calls and the ``atexit`` hook compose), and a pool
+    whose processes already died cannot abort the sweep: it is popped first,
+    and a raising ``shutdown`` never stops the remaining pools from being
+    released.
+    """
     while _WARM_SHM_POOLS:
         _, pool = _WARM_SHM_POOLS.popitem()
-        pool.shutdown(wait=True)
+        try:
+            pool.shutdown(wait=True)
+        except Exception:
+            pass
 
 
 atexit.register(shutdown_warm_pools)

@@ -48,6 +48,13 @@ tag   body
 ``16`` :class:`~repro.obs.trace.TraceContext` (trace_id, span_id strings)
 ``17`` traced ShardTask: the 8 fields of tag ``13`` + a TraceContext
 ``18`` traced ShardResult: the 8 fields of tag ``14`` + a TraceContext
+``19`` :class:`~repro.kg.triple.Triple` (subject, predicate, object strings +
+       is_entity_object bool)
+``20`` :class:`~repro.sampling.base.Estimate` (value, std_error, num_units,
+       num_triples)
+``21`` :class:`~repro.core.result.EvaluationReport` (a tagged Estimate + the
+       8 scalar report fields)
+``22`` :class:`~repro.evolving.monitor.MonitorRecord` (7 scalar fields)
 ====  =======================================================================
 
 Tags ``16``–``18`` are the observability extension: a task or result whose
@@ -55,6 +62,13 @@ Tags ``16``–``18`` are the observability extension: a task or result whose
 — **byte-identical** to the pre-trace protocol — so tracing-off peers
 interoperate unchanged, and a pre-trace peer receiving a traced frame fails
 with a typed ``unknown wire tag`` :class:`WireError`, never a hang.
+
+Tags ``19``–``22`` are the ``repro serve`` extension: update triples travel
+from clients to the daemon, and cached estimates (reports, monitor records)
+travel back.  Like the trace tags they are a pure suffix — every value the
+worker protocol exchanges encodes byte-identically to before, so serve-aware
+and worker-only peers interoperate on the shared frames, and a pre-serve
+peer fed a serve frame fails with the typed ``unknown wire tag`` error.
 
 Generator states (``Generator.bit_generator.state``) need no tag of their
 own: they are plain dicts of strs, ints (including the 128-bit PCG64 state
@@ -69,7 +83,11 @@ import zlib
 
 import numpy as np
 
+from repro.core.result import EvaluationReport
+from repro.evolving.monitor import MonitorRecord
+from repro.kg.triple import Triple
 from repro.obs.trace import TraceContext
+from repro.sampling.base import Estimate
 from repro.sampling.parallel import ShardResult, ShardSource, ShardTask
 
 __all__ = [
@@ -109,6 +127,10 @@ _T_SOURCE = 15
 _T_TRACECTX = 16
 _T_TASK_TRACED = 17
 _T_RESULT_TRACED = 18
+_T_TRIPLE = 19
+_T_ESTIMATE = 20
+_T_REPORT = 21
+_T_MONITOR_RECORD = 22
 
 _I64 = struct.Struct(">q")
 _U32 = struct.Struct(">I")
@@ -257,6 +279,47 @@ def _encode(value, out: bytearray, depth: int) -> None:
         out.append(_T_TRACECTX)
         _encode_str(value.trace_id, out)
         _encode_str(value.span_id, out)
+    elif isinstance(value, Triple):
+        out.append(_T_TRIPLE)
+        _encode_str(value.subject, out)
+        _encode_str(value.predicate, out)
+        _encode_str(value.obj, out)
+        out.append(_T_TRUE if value.is_entity_object else _T_FALSE)
+    elif isinstance(value, Estimate):
+        out.append(_T_ESTIMATE)
+        for field in (
+            float(value.value),
+            float(value.std_error),
+            int(value.num_units),
+            int(value.num_triples),
+        ):
+            _encode(field, out, depth + 1)
+    elif isinstance(value, EvaluationReport):
+        out.append(_T_REPORT)
+        for field in (
+            value.estimate,
+            float(value.confidence_level),
+            float(value.moe_target),
+            bool(value.satisfied),
+            int(value.iterations),
+            int(value.num_units),
+            int(value.num_triples_annotated),
+            int(value.num_entities_identified),
+            float(value.annotation_cost_seconds),
+        ):
+            _encode(field, out, depth + 1)
+    elif isinstance(value, MonitorRecord):
+        out.append(_T_MONITOR_RECORD)
+        for field in (
+            int(value.batch_index),
+            value.batch_id,
+            float(value.estimated_accuracy),
+            float(value.margin_of_error),
+            float(value.true_accuracy),
+            float(value.incremental_cost_hours),
+            float(value.cumulative_cost_hours),
+        ):
+            _encode(field, out, depth + 1)
     else:
         raise WireError(f"type {type(value).__name__} is not allowed on the wire")
 
@@ -453,6 +516,81 @@ def _decode_result(reader: _Reader, depth: int, *, traced: bool = False) -> Shar
     )
 
 
+def _decode_float_field(reader: _Reader, depth: int, what: str) -> float:
+    value = _decode(reader, depth)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireError(f"{what} must be a number")
+    return float(value)
+
+
+def _decode_triple(reader: _Reader, depth: int) -> Triple:
+    subject = _expect(_decode(reader, depth), str, "Triple.subject")
+    predicate = _expect(_decode(reader, depth), str, "Triple.predicate")
+    obj = _expect(_decode(reader, depth), str, "Triple.obj")
+    flag = _decode(reader, depth)
+    if not isinstance(flag, bool):
+        raise WireError("Triple.is_entity_object must be a bool")
+    return Triple(subject, predicate, obj, is_entity_object=flag)
+
+
+def _decode_estimate(reader: _Reader, depth: int) -> Estimate:
+    value = _decode_float_field(reader, depth, "Estimate.value")
+    std_error = _decode_float_field(reader, depth, "Estimate.std_error")
+    num_units = _expect(_decode(reader, depth), int, "Estimate.num_units")
+    num_triples = _expect(_decode(reader, depth), int, "Estimate.num_triples")
+    return Estimate(
+        value=value, std_error=std_error, num_units=num_units, num_triples=num_triples
+    )
+
+
+def _decode_report(reader: _Reader, depth: int) -> EvaluationReport:
+    estimate = _decode(reader, depth)
+    if not isinstance(estimate, Estimate):
+        raise WireError("EvaluationReport.estimate must be an Estimate")
+    confidence_level = _decode_float_field(reader, depth, "EvaluationReport.confidence_level")
+    moe_target = _decode_float_field(reader, depth, "EvaluationReport.moe_target")
+    satisfied = _decode(reader, depth)
+    if not isinstance(satisfied, bool):
+        raise WireError("EvaluationReport.satisfied must be a bool")
+    iterations = _expect(_decode(reader, depth), int, "EvaluationReport.iterations")
+    num_units = _expect(_decode(reader, depth), int, "EvaluationReport.num_units")
+    num_annotated = _expect(_decode(reader, depth), int, "EvaluationReport.num_triples_annotated")
+    num_entities = _expect(
+        _decode(reader, depth), int, "EvaluationReport.num_entities_identified"
+    )
+    cost = _decode_float_field(reader, depth, "EvaluationReport.annotation_cost_seconds")
+    return EvaluationReport(
+        estimate=estimate,
+        confidence_level=confidence_level,
+        moe_target=moe_target,
+        satisfied=satisfied,
+        iterations=iterations,
+        num_units=num_units,
+        num_triples_annotated=num_annotated,
+        num_entities_identified=num_entities,
+        annotation_cost_seconds=cost,
+    )
+
+
+def _decode_monitor_record(reader: _Reader, depth: int) -> MonitorRecord:
+    batch_index = _expect(_decode(reader, depth), int, "MonitorRecord.batch_index")
+    batch_id = _expect(_decode(reader, depth), str, "MonitorRecord.batch_id")
+    estimated = _decode_float_field(reader, depth, "MonitorRecord.estimated_accuracy")
+    moe = _decode_float_field(reader, depth, "MonitorRecord.margin_of_error")
+    truth = _decode_float_field(reader, depth, "MonitorRecord.true_accuracy")
+    incremental = _decode_float_field(reader, depth, "MonitorRecord.incremental_cost_hours")
+    cumulative = _decode_float_field(reader, depth, "MonitorRecord.cumulative_cost_hours")
+    return MonitorRecord(
+        batch_index=batch_index,
+        batch_id=batch_id,
+        estimated_accuracy=estimated,
+        margin_of_error=moe,
+        true_accuracy=truth,
+        incremental_cost_hours=incremental,
+        cumulative_cost_hours=cumulative,
+    )
+
+
 def _decode(reader: _Reader, depth: int):
     if depth > _MAX_DEPTH:
         raise WireError("frame nests deeper than the wire limit")
@@ -515,6 +653,14 @@ def _decode(reader: _Reader, depth: int):
         return _decode_task(reader, depth + 1, traced=True)
     if tag == _T_RESULT_TRACED:
         return _decode_result(reader, depth + 1, traced=True)
+    if tag == _T_TRIPLE:
+        return _decode_triple(reader, depth + 1)
+    if tag == _T_ESTIMATE:
+        return _decode_estimate(reader, depth + 1)
+    if tag == _T_REPORT:
+        return _decode_report(reader, depth + 1)
+    if tag == _T_MONITOR_RECORD:
+        return _decode_monitor_record(reader, depth + 1)
     raise WireError(f"unknown wire tag {tag}")
 
 

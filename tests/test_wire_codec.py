@@ -29,8 +29,12 @@ from test_transport_roundtrip import (
     _traces_equal,
 )
 
+from repro.core.result import EvaluationReport
+from repro.evolving.monitor import MonitorRecord
+from repro.kg.triple import Triple
 from repro.obs.trace import TraceContext
 from repro.sampling import wire
+from repro.sampling.base import Estimate
 from repro.sampling.parallel import ShardResult, ShardTask
 from repro.sampling.wire import WireError
 
@@ -226,7 +230,7 @@ def test_trace_context_roundtrips_standalone():
 
 @settings(max_examples=200)
 @given(
-    tag=st.integers(min_value=wire._T_RESULT_TRACED + 1, max_value=255),
+    tag=st.integers(min_value=wire._T_MONITOR_RECORD + 1, max_value=255),
     junk=st.binary(max_size=64),
 )
 def test_unknown_future_tags_raise_typed_error(tag, junk):
@@ -258,3 +262,107 @@ def test_task_trace_field_must_be_a_trace_context():
     # wrongly-typed tail is a WireError either way.
     with pytest.raises(WireError):
         wire.loads(bytes(task_payload))
+
+
+# --------------------------------------------------------------------------- #
+# Serve extension tags (19-22): fidelity and suffix compatibility
+# --------------------------------------------------------------------------- #
+def _sample_report() -> "EvaluationReport":
+    return EvaluationReport(
+        estimate=Estimate(value=0.875, std_error=0.0125, num_units=40, num_triples=310),
+        confidence_level=0.95,
+        moe_target=0.05,
+        satisfied=True,
+        iterations=7,
+        num_units=40,
+        num_triples_annotated=310,
+        num_entities_identified=38,
+        annotation_cost_seconds=1234.5,
+    )
+
+
+@given(
+    subject=st.text(max_size=24),
+    predicate=st.text(max_size=24),
+    obj=st.text(max_size=24),
+    is_entity=st.booleans(),
+)
+def test_triple_frame_roundtrip(subject, predicate, obj, is_entity):
+    triple = Triple(subject, predicate, obj, is_entity_object=is_entity)
+    decoded = wire.decode_frame(wire.encode_frame(triple))
+    assert isinstance(decoded, Triple)
+    assert decoded == triple
+    assert decoded.is_entity_object == triple.is_entity_object
+
+
+@given(
+    value=st.floats(allow_nan=False),
+    std_error=st.floats(min_value=0, allow_nan=False),
+    num_units=st.integers(min_value=0, max_value=2**40),
+    num_triples=st.integers(min_value=0, max_value=2**40),
+)
+def test_estimate_frame_roundtrip(value, std_error, num_units, num_triples):
+    estimate = Estimate(
+        value=value, std_error=std_error, num_units=num_units, num_triples=num_triples
+    )
+    decoded = wire.decode_frame(wire.encode_frame(estimate))
+    assert isinstance(decoded, Estimate)
+    assert decoded == estimate
+
+
+def test_report_frame_roundtrip():
+    report = _sample_report()
+    decoded = wire.decode_frame(wire.encode_frame(report))
+    assert isinstance(decoded, EvaluationReport)
+    assert decoded == report
+    # Derived quantities survive because the fields do, bit for bit.
+    assert decoded.margin_of_error == report.margin_of_error
+
+
+def test_monitor_record_frame_roundtrip():
+    record = MonitorRecord(
+        batch_index=3,
+        batch_id="delta-2",
+        estimated_accuracy=0.8854,
+        margin_of_error=0.0505,
+        true_accuracy=0.8973,
+        incremental_cost_hours=0.26,
+        cumulative_cost_hours=2.59,
+    )
+    decoded = wire.decode_frame(wire.encode_frame(record))
+    assert isinstance(decoded, MonitorRecord)
+    assert decoded == record
+
+
+def test_serve_payloads_nest_inside_messages():
+    """A whole serve reply (dict of records/reports/triples) round-trips."""
+    message = {
+        "op": "result",
+        "session": "demo",
+        "report": _sample_report(),
+        "triples": [Triple("s", "p", "o"), Triple("s", "p", "e", is_entity_object=True)],
+        "labels": [True, False],
+    }
+    assert wire.decode_frame(wire.encode_frame(message)) == message
+
+
+def test_serve_tags_are_a_pure_suffix():
+    """Tags 19-22 extend the table without renumbering: every pre-serve tag
+    keeps its value, so frames that avoid serve types are byte-identical to
+    what an old peer emits, and an old peer meeting a serve frame dies on
+    its own `unknown wire tag` guard rather than misparsing."""
+    assert (
+        wire._T_TRIPLE,
+        wire._T_ESTIMATE,
+        wire._T_REPORT,
+        wire._T_MONITOR_RECORD,
+    ) == (19, 20, 21, 22)
+    assert wire._T_RESULT_TRACED == 18  # the previous ceiling is untouched
+    assert wire.dumps(Triple("s", "p", "o"))[0] == wire._T_TRIPLE
+
+
+@given(junk=st.binary(max_size=32))
+def test_truncated_serve_frames_raise_wire_error(junk):
+    for tag in (wire._T_TRIPLE, wire._T_ESTIMATE, wire._T_REPORT, wire._T_MONITOR_RECORD):
+        with pytest.raises(WireError):
+            wire.loads(bytes([tag]) + junk)

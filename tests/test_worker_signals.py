@@ -1,0 +1,38 @@
+"""Worker shutdown-signal regression: SIGINT must export metrics too.
+
+``repro worker`` converts SIGTERM into an orderly ``SystemExit`` so that
+``--metrics-out`` gets written by ``main()``'s finally block.  SIGINT (an
+interactive Ctrl-C) historically unwound as a ``KeyboardInterrupt`` from an
+arbitrary bytecode boundary instead, silently dropping the snapshot.  Both
+signals now share the handler; this suite pins that for each one the worker
+exits 0 and its metrics file exists with the right meta.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import time
+
+import pytest
+from rpc_chaos import WorkerProcess
+
+pytestmark = [pytest.mark.rpc]
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+@pytest.mark.timeout(60)
+def test_worker_exports_metrics_on_shutdown_signal(tmp_path, signum):
+    worker = WorkerProcess(tmp_path / "cache", name=f"sig-{signum.name.lower()}")
+    try:
+        # Let the worker settle into its accept loop before interrupting it.
+        time.sleep(0.5)
+        worker.proc.send_signal(signum)
+        assert worker.proc.wait(timeout=30) == 0
+    finally:
+        worker.stop()
+    assert worker.metrics_path.is_file(), (
+        f"{signum.name} shutdown dropped the --metrics-out snapshot"
+    )
+    snapshot = json.loads(worker.metrics_path.read_text())
+    assert snapshot["meta"]["command"] == "worker"
