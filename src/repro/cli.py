@@ -39,6 +39,12 @@ Five commands cover the common workflows:
 * ``client`` — talk to a running daemon: ``run`` (the served twin of
   ``monitor`` — bit-identical trajectories), ``estimate`` (non-blocking
   cached read), ``poll`` (threshold wait), ``sessions`` and ``detach``;
+* ``scenario`` — run declarative stress-scenario packs through the real
+  engine with statistical gates: ``run`` executes every scenario's seeded
+  replications on a chosen backend and checks empirical CI coverage against
+  a Wilson tolerance band, ``compare`` diffs a ``SCENARIOS_*.json`` result
+  file against a committed baseline, ``list`` shows the registry (see
+  ``docs/scenarios.md``);
 * ``planner`` — inspect (``show``) or regenerate (``calibrate``) the adaptive
   transport planner's calibration profile.  ``evaluate``/``monitor`` default
   to ``--transport auto``: the shard plan (part of a run's random-stream
@@ -70,6 +76,9 @@ Examples
     python -m repro client run --connect 127.0.0.1:7400 --dataset nell \\
         --evaluator ss --batches 2
     python -m repro client estimate --connect 127.0.0.1:7400 --session session-1
+    python -m repro scenario run --pack builtin-smoke --backend sqlite \\
+        --out SCENARIOS_smoke.json
+    python -m repro scenario compare baselines/SCENARIOS_smoke.json SCENARIOS_smoke.json
 
 ``evaluate``, ``monitor``, ``worker`` and ``serve`` all accept ``--log-json PATH`` /
 ``--log-level`` (structured JSON-lines logs with RPC-propagated trace spans)
@@ -943,6 +952,72 @@ _EXPERIMENTS = {
 }
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    """``repro scenario run|compare|list``: the declarative stress-pack registry."""
+    from repro.scenarios import (
+        BACKENDS,
+        BUILTIN_PACKS,
+        compare_documents,
+        format_results_table,
+        load_pack,
+        load_results,
+        results_to_document,
+        run_pack,
+        write_results,
+    )
+
+    if args.scenario_command == "list":
+        if args.pack is None:
+            print("built-in packs:")
+            for name in BUILTIN_PACKS:
+                pack = load_pack(name)
+                print(f"  {name:<16} {len(pack.scenarios)} scenarios — {pack.description}")
+            print("(pass --pack NAME_OR_FILE to list the scenarios inside a pack)")
+            return 0
+        pack = load_pack(args.pack)
+        print(f"pack {pack.name}: {pack.description}")
+        for spec in pack.scenarios:
+            print(f"  {spec.name:<24} {spec.kind:<9} x{spec.replications:<4} {spec.description}")
+        return 0
+
+    if args.scenario_command == "compare":
+        baseline = load_results(args.baseline)
+        current = load_results(args.current)
+        differences = compare_documents(
+            baseline, current, float_tolerance=args.float_tolerance
+        )
+        if not differences:
+            print(f"OK: {args.current} reproduces {args.baseline}")
+            return 0
+        print(f"{len(differences)} difference(s) against baseline:")
+        for line in differences:
+            print(f"  {line}")
+        return 1
+
+    # run
+    pack = load_pack(args.pack)
+    if args.backend not in BACKENDS:
+        print(f"unknown backend {args.backend!r}; choose from {BACKENDS}")
+        return 2
+    only = tuple(args.only) if args.only else None
+    results = run_pack(
+        pack,
+        backend=args.backend,
+        replications=args.replications,
+        root_seed=args.root_seed,
+        only=only,
+        progress=lambda result: print(
+            f"  {result.name}: {'PASS' if result.passed else 'FAIL'}", file=sys.stderr
+        ),
+    )
+    print(format_results_table(results))
+    if args.out:
+        document = results_to_document(pack.name, args.backend, args.root_seed, results)
+        written = write_results(args.out, document)
+        print(f"results written to {written}")
+    return 0 if all(result.passed for result in results) else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     runner = _EXPERIMENTS.get(args.name)
     if runner is None:
@@ -1609,6 +1684,77 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.add_argument("--trials", type=int, default=5, help="randomised trials (default 5)")
 
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="run declarative stress-scenario packs with statistical coverage gates",
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_run = scenario_sub.add_parser(
+        "run",
+        help="execute a pack's seeded replications and gate coverage/MoE/cost",
+    )
+    scenario_run.add_argument(
+        "--pack",
+        default="builtin-smoke",
+        help="built-in pack name (builtin-full, builtin-smoke) or a "
+        ".json/.toml pack file (default builtin-smoke)",
+    )
+    scenario_run.add_argument(
+        "--backend",
+        choices=("memory", "columnar", "sqlite"),
+        default="memory",
+        help="storage backend the replications run on (default memory); "
+        "trajectory digests are bit-identical across backends",
+    )
+    scenario_run.add_argument(
+        "--out",
+        default=None,
+        help="write a deterministic SCENARIOS_*.json result document here "
+        "(feed it to `repro scenario compare`)",
+    )
+    scenario_run.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this scenario (repeatable)",
+    )
+    scenario_run.add_argument(
+        "--replications",
+        type=int,
+        default=None,
+        help="override every scenario's replication count (default: as declared)",
+    )
+    scenario_run.add_argument(
+        "--root-seed",
+        type=int,
+        default=0,
+        dest="root_seed",
+        help="root seed mixed into every per-replication seed (default 0)",
+    )
+    scenario_compare = scenario_sub.add_parser(
+        "compare",
+        help="diff a result file against a committed baseline (exit 1 on drift)",
+    )
+    scenario_compare.add_argument("baseline", help="baseline SCENARIOS_*.json")
+    scenario_compare.add_argument("current", help="current SCENARIOS_*.json")
+    scenario_compare.add_argument(
+        "--float-tolerance",
+        type=float,
+        default=1e-9,
+        dest="float_tolerance",
+        help="absolute tolerance for float fields (default 1e-9); digests and "
+        "coverage counts always compare exactly",
+    )
+    scenario_list = scenario_sub.add_parser(
+        "list", help="list the built-in packs, or the scenarios inside one pack"
+    )
+    scenario_list.add_argument(
+        "--pack",
+        default=None,
+        help="pack to list scenarios for (built-in name or .json/.toml file)",
+    )
+
     return parser
 
 
@@ -1627,6 +1773,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "client": _cmd_client,
         "metrics": _cmd_metrics,
         "planner": _cmd_planner,
+        "scenario": _cmd_scenario,
     }
     handler = handlers.get(args.command)
     if handler is None:

@@ -11,7 +11,8 @@ truth labels at a controlled accuracy.
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,7 +22,72 @@ from repro.kg.triple import Triple
 from repro.kg.updates import UpdateBatch
 from repro.labels.oracle import LabelOracle
 
-__all__ = ["UpdateWorkloadGenerator"]
+__all__ = ["UpdateWorkloadGenerator", "DeletionBatch", "batch_schedule", "SCHEDULE_PATTERNS"]
+
+SCHEDULE_PATTERNS = ("uniform", "trickle", "bursty", "frontloaded")
+
+
+@dataclass(frozen=True)
+class DeletionBatch:
+    """A batch of triples to remove from an evolving knowledge graph.
+
+    The evolving storage layer is append-only, so deletions are not applied
+    through :class:`~repro.kg.updates.EvolvingKnowledgeGraph`; a deletion-aware
+    harness (e.g. the scenario runner) subtracts these triples from its live
+    triple set and rebuilds the graph for the post-deletion state.
+    """
+
+    batch_id: str
+    triples: tuple[Triple, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of triples removed by this batch."""
+        return len(self.triples)
+
+    def __iter__(self):
+        return iter(self.triples)
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+
+def batch_schedule(total_updates: int, num_batches: int, pattern: str = "uniform") -> list[int]:
+    """Split ``total_updates`` into per-batch sizes following a named pattern.
+
+    The sizes always sum to exactly ``total_updates`` (largest-remainder
+    apportionment with stable tie-breaking by batch index), so every schedule
+    of the same total applies the same amount of work regardless of shape:
+
+    * ``uniform`` / ``trickle`` — as equal as possible.  A trickle stream is a
+      uniform schedule with many batches, so the two names share weights; the
+      semantic difference lives in how many batches the caller asks for.
+    * ``bursty`` — every third batch is a spike carrying ~8x the weight of the
+      quiet batches between spikes.
+    * ``frontloaded`` — geometrically decaying weights ``2^-i``: one large
+      initial burst that tapers into a trickle.
+    """
+    if total_updates < 1:
+        raise ValueError(f"total_updates must be positive, got {total_updates}")
+    if num_batches < 1:
+        raise ValueError(f"num_batches must be positive, got {num_batches}")
+    if pattern not in SCHEDULE_PATTERNS:
+        raise ValueError(f"pattern must be one of {SCHEDULE_PATTERNS}, got {pattern!r}")
+    if pattern in ("uniform", "trickle"):
+        weights = np.ones(num_batches)
+    elif pattern == "bursty":
+        weights = np.where(np.arange(num_batches) % 3 == 0, 8.0, 1.0)
+    else:  # frontloaded
+        weights = 2.0 ** -np.arange(num_batches, dtype=np.float64)
+    raw = weights / weights.sum() * total_updates
+    sizes = np.floor(raw).astype(np.int64)
+    shortfall = total_updates - int(sizes.sum())
+    if shortfall > 0:
+        # Stable sort: equal remainders are resolved by batch index, so the
+        # schedule is a pure function of (total, batches, pattern).
+        order = np.argsort(-(raw - sizes), kind="stable")
+        sizes[order[:shortfall]] += 1
+    return [int(size) for size in sizes]
 
 
 class UpdateWorkloadGenerator:
@@ -63,7 +129,9 @@ class UpdateWorkloadGenerator:
         self._rng = np.random.default_rng(seed)
         self._next_entity_index = 0
         self._next_batch_index = 0
+        self._next_deletion_index = 0
         self._existing_entities = list(base.graph.entity_ids)
+        self._deleted: set[Triple] = set()
 
     # ------------------------------------------------------------------ #
     # Batch generation
@@ -137,6 +205,54 @@ class UpdateWorkloadGenerator:
         """Yield a sequence of equally sized batches at the same accuracy."""
         for _ in range(num_batches):
             yield self.generate_batch(batch_size, accuracy)
+
+    def generate_scheduled_sequence(
+        self,
+        total_updates: int,
+        num_batches: int,
+        accuracy: float,
+        pattern: str = "uniform",
+    ) -> Iterator[tuple[UpdateBatch, LabelOracle]]:
+        """Yield batches whose sizes follow :func:`batch_schedule`.
+
+        The schedule conserves the total update count exactly; batches the
+        apportionment leaves empty (e.g. the tail of a short frontloaded
+        stream) are skipped rather than emitted, since an
+        :class:`~repro.kg.updates.UpdateBatch` must hold at least one triple.
+        """
+        for size in batch_schedule(total_updates, num_batches, pattern):
+            if size > 0:
+                yield self.generate_batch(size, accuracy)
+
+    def generate_deletion_batch(
+        self,
+        candidates: Sequence[Triple],
+        num_deletions: int,
+        batch_id: str | None = None,
+    ) -> DeletionBatch:
+        """Pick distinct triples to delete from ``candidates``.
+
+        Triples this generator has already marked for deletion are excluded
+        from the candidate pool, so a deletion workload produced by a single
+        generator never deletes the same triple twice — even when the caller
+        passes overlapping candidate lists across batches.  When fewer than
+        ``num_deletions`` eligible candidates remain, the batch simply shrinks
+        (possibly to empty).
+        """
+        if num_deletions < 0:
+            raise ValueError(f"num_deletions must be non-negative, got {num_deletions}")
+        if batch_id is None:
+            batch_id = f"delete-{self._next_deletion_index}"
+        self._next_deletion_index += 1
+        eligible = [triple for triple in candidates if triple not in self._deleted]
+        count = min(num_deletions, len(eligible))
+        if count > 0:
+            chosen_indices = self._rng.choice(len(eligible), size=count, replace=False)
+            chosen = tuple(eligible[int(index)] for index in chosen_indices)
+        else:
+            chosen = ()
+        self._deleted.update(chosen)
+        return DeletionBatch(batch_id, chosen)
 
     # ------------------------------------------------------------------ #
     # Convenience

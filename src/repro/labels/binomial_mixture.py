@@ -37,6 +37,14 @@ class BinomialMixtureModel:
     k:
         Size threshold below which the base success probability is 0.5.
         Paper default 3.
+    rho:
+        Within-cluster label correlation in [0, 1].  With probability ``rho``
+        a triple copies a single cluster-wide Bernoulli(``p_i``) outcome and
+        with probability ``1 - rho`` it is labelled independently, which makes
+        ``rho`` the correlation between any two labels of the same cluster
+        while keeping every marginal at ``p_i``.  ``rho = 0`` (the default)
+        reproduces the original independent-label model byte-for-byte on the
+        same seed.
     seed:
         Seed or generator for reproducible draws.
     """
@@ -46,6 +54,7 @@ class BinomialMixtureModel:
         c: float = 0.01,
         sigma: float = 0.1,
         k: int = 3,
+        rho: float = 0.0,
         seed: int | np.random.Generator | None = None,
     ) -> None:
         if c < 0:
@@ -54,9 +63,12 @@ class BinomialMixtureModel:
             raise ValueError(f"sigma must be non-negative, got {sigma}")
         if k < 1:
             raise ValueError(f"k must be at least 1, got {k}")
+        if not 0.0 <= rho <= 1.0:
+            raise ValueError(f"rho must be in [0, 1], got {rho}")
         self.c = c
         self.sigma = sigma
         self.k = k
+        self.rho = rho
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------ #
@@ -79,14 +91,31 @@ class BinomialMixtureModel:
         For each cluster we draw ``eps``, compute ``p_i`` via Eq. (15) and then
         label each triple of the cluster correct independently with probability
         ``p_i`` (which makes the number of correct triples Binomial(M_i, p_i)).
+
+        With ``rho > 0`` each cluster additionally draws one shared
+        Bernoulli(``p_i``) outcome; every triple copies it with probability
+        ``rho`` and keeps its independent draw otherwise, producing
+        equi-correlated labels with correlation ``rho`` and unchanged
+        marginals.
         """
         labels: dict = {}
         for cluster in graph.clusters():
             noise = float(self._rng.normal(0.0, self.sigma)) if self.sigma > 0 else 0.0
             probability = self.cluster_probability(cluster.size, noise)
-            draws = self._rng.random(cluster.size)
-            for triple, draw in zip(cluster, draws):
-                labels[triple] = bool(draw < probability)
+            if self.rho == 0.0:
+                # Exactly the original stream: one uniform block per cluster.
+                draws = self._rng.random(cluster.size)
+                for triple, draw in zip(cluster, draws):
+                    labels[triple] = bool(draw < probability)
+            else:
+                shared = bool(self._rng.random() < probability)
+                mixture = self._rng.random(cluster.size)
+                draws = self._rng.random(cluster.size)
+                for triple, mix, draw in zip(cluster, mixture, draws):
+                    if mix < self.rho:
+                        labels[triple] = shared
+                    else:
+                        labels[triple] = bool(draw < probability)
         return LabelOracle(labels)
 
     def expected_cluster_accuracy(self, cluster_size: int) -> float:

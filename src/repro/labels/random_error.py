@@ -54,5 +54,15 @@ class RandomErrorModel:
     def with_accuracy(
         cls, accuracy: float, seed: int | np.random.Generator | None = None
     ) -> "RandomErrorModel":
-        """Construct a model from a target accuracy instead of an error rate."""
+        """Construct a model from a target accuracy instead of an error rate.
+
+        Raises
+        ------
+        ValueError
+            If ``accuracy`` is outside [0, 1] (or NaN).  Validating here keeps
+            the message phrased in the caller's terms instead of surfacing a
+            confusing complaint about the derived ``error_rate``.
+        """
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {accuracy}")
         return cls(error_rate=1.0 - accuracy, seed=seed)

@@ -1,0 +1,314 @@
+"""The built-in scenario packs.
+
+``builtin-full`` is the statistical regression suite: every scenario runs
+enough replications for the Wilson coverage gate to have real power.
+``builtin-smoke`` is the same scenario list at CI-friendly replication
+counts — same seeds per (scenario, replication), so its digests are a strict
+prefix-stable fingerprint suitable for committing as a baseline.
+
+Both packs are expressed in the same declarative dict format user pack files
+use (see :mod:`repro.scenarios.spec` and ``docs/scenarios.md``), so they
+double as the reference examples for writing new packs.
+
+Coverage slacks below are *documented weakness bands*: a non-zero slack
+records how far a scenario's estimator is known to stray from nominal
+coverage today (e.g. the adversarial cluster labels, where the normal-CI
+cluster designs genuinely under-cover).  The gate then fails only if the
+behaviour degrades beyond the recorded band.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.scenarios.spec import ScenarioPack, load_pack_file, pack_from_dict
+
+__all__ = ["BUILTIN_PACKS", "load_pack", "builtin_pack"]
+
+# One entry per scenario: the full-pack replication count lives in the spec
+# itself; the smoke pack overrides it with the paired smoke count.
+_SMOKE_REPLICATIONS = {
+    "srs-bernoulli-exact": 50,
+    "srs-sequential-stopping": 40,
+    "heavy-tail-clusters": 20,
+    "correlated-in-cluster": 20,
+    "adversarial-worst-case": 20,
+    "cost-drift": 15,
+    "bursty-stream": 4,
+    "trickle-stream": 4,
+    "deletion-churn": 5,
+    "fleet-concurrent": 1,
+}
+
+_BUILTIN_SCENARIOS = [
+    {
+        "name": "srs-bernoulli-exact",
+        "kind": "static",
+        "description": (
+            "The analytically checkable case: SRS over i.i.d. Bernoulli(0.9) labels "
+            "at a fixed sample size of 140 triples (min_units == max_units pins n), "
+            "where Eq. (1) coverage should match nominal almost exactly."
+        ),
+        "replications": 200,
+        "graph": {
+            "num_entities": 400,
+            "mean_cluster_size": 2.0,
+            "size_skew": 0.6,
+            "max_cluster_size": 40,
+        },
+        "labels": {"model": "random_error", "params": {"accuracy": 0.9}},
+        "design": "srs",
+        "moe_target": 0.05,
+        "min_units": 140,
+        "max_units": 140,
+        "gates": {"coverage_slack": 0.03},
+    },
+    {
+        "name": "srs-sequential-stopping",
+        "kind": "static",
+        "description": (
+            "The same SRS/Bernoulli(0.9) setup but with the engine's real "
+            "stop-at-first-satisfied-MoE loop.  Optional stopping biases coverage "
+            "below nominal (~88% observed at nominal 95%); the wide slack pins "
+            "today's bias so further degradation fails CI without overclaiming."
+        ),
+        "replications": 200,
+        "graph": {
+            "num_entities": 400,
+            "mean_cluster_size": 2.0,
+            "size_skew": 0.6,
+            "max_cluster_size": 40,
+        },
+        "labels": {"model": "random_error", "params": {"accuracy": 0.9}},
+        "design": "srs",
+        "moe_target": 0.05,
+        "gates": {"coverage_slack": 0.1},
+    },
+    {
+        "name": "heavy-tail-clusters",
+        "kind": "static",
+        "description": (
+            "TWCS on a lognormal cluster-size distribution with a very heavy tail "
+            "(skew 2.2, clusters up to 400 triples) and size-correlated labels."
+        ),
+        "replications": 120,
+        "graph": {
+            "num_entities": 300,
+            "mean_cluster_size": 4.0,
+            "size_skew": 2.2,
+            "max_cluster_size": 400,
+        },
+        "labels": {
+            "model": "calibrated",
+            "params": {"accuracy": 0.85, "size_correlation": 0.2, "noise_sigma": 0.05},
+        },
+        "design": "twcs",
+        "second_stage_size": 5,
+        "moe_target": 0.06,
+        "gates": {"coverage_slack": 0.05},
+    },
+    {
+        "name": "correlated-in-cluster",
+        "kind": "static",
+        "description": (
+            "Binomial-mixture labels with within-cluster correlation rho=0.8: whole "
+            "clusters flip together, inflating the between-cluster variance TWCS "
+            "must estimate from few cluster draws."
+        ),
+        "replications": 120,
+        "graph": {
+            "num_entities": 300,
+            "mean_cluster_size": 5.0,
+            "size_skew": 1.0,
+            "max_cluster_size": 120,
+        },
+        "labels": {
+            "model": "binomial_mixture",
+            "params": {"c": 0.05, "sigma": 0.05, "k": 3, "rho": 0.8},
+        },
+        "design": "twcs",
+        "second_stage_size": 5,
+        "moe_target": 0.07,
+        "gates": {"coverage_slack": 0.05},
+    },
+    {
+        "name": "adversarial-worst-case",
+        "kind": "static",
+        "description": (
+            "Worst-case cluster labels: the largest clusters carrying 10% of the "
+            "triple mass are fully wrong, the rest fully right — a step-function "
+            "accuracy profile that maximises between-cluster variance."
+        ),
+        "replications": 120,
+        "graph": {
+            "num_entities": 300,
+            "mean_cluster_size": 4.0,
+            "size_skew": 1.5,
+            "max_cluster_size": 200,
+        },
+        "labels": {"model": "adversarial", "params": {"poisoned_mass": 0.1}},
+        "design": "twcs",
+        "second_stage_size": 5,
+        "moe_target": 0.06,
+        "gates": {"coverage_slack": 0.08},
+    },
+    {
+        "name": "cost-drift",
+        "kind": "static",
+        "description": (
+            "Annotator fatigue: every charged component costs (1 + 0.5*n/100)x "
+            "after n annotated triples.  Coverage must hold and measured cost must "
+            "stay inside the drift-widened Eq. (4) allowance."
+        ),
+        "replications": 100,
+        "graph": {
+            "num_entities": 300,
+            "mean_cluster_size": 4.0,
+            "size_skew": 1.0,
+            "max_cluster_size": 120,
+        },
+        "labels": {"model": "calibrated", "params": {"accuracy": 0.9}},
+        "cost": {"drift": 0.5},
+        "design": "twcs",
+        "second_stage_size": 5,
+        "moe_target": 0.06,
+        "gates": {"coverage_slack": 0.05, "cost_tolerance": 1.01},
+    },
+    {
+        "name": "bursty-stream",
+        "kind": "evolving",
+        "description": (
+            "Stratified incremental evaluation under a bursty insert stream: every "
+            "third batch is an ~8x spike, so strata arrive with wildly uneven sizes."
+        ),
+        "replications": 20,
+        "graph": {
+            "num_entities": 250,
+            "mean_cluster_size": 3.0,
+            "size_skew": 1.0,
+            "max_cluster_size": 80,
+        },
+        "labels": {"model": "calibrated", "params": {"accuracy": 0.88}},
+        "evaluator": "ss",
+        "moe_target": 0.07,
+        "workload": {
+            "total_updates": 240,
+            "num_batches": 4,
+            "schedule": "bursty",
+            "update_accuracy": 0.7,
+        },
+        "gates": {"coverage_slack": 0.06},
+    },
+    {
+        "name": "trickle-stream",
+        "kind": "evolving",
+        "description": (
+            "The same update mass as bursty-stream dripped uniformly over 8 small "
+            "batches — many small strata instead of a few spikes."
+        ),
+        "replications": 20,
+        "graph": {
+            "num_entities": 250,
+            "mean_cluster_size": 3.0,
+            "size_skew": 1.0,
+            "max_cluster_size": 80,
+        },
+        "labels": {"model": "calibrated", "params": {"accuracy": 0.88}},
+        "evaluator": "ss",
+        "moe_target": 0.07,
+        "workload": {
+            "total_updates": 240,
+            "num_batches": 8,
+            "schedule": "trickle",
+            "update_accuracy": 0.7,
+        },
+        "gates": {"coverage_slack": 0.06},
+    },
+    {
+        "name": "deletion-churn",
+        "kind": "deletion",
+        "description": (
+            "Deletion-heavy evolution: each insert batch is followed by deleting "
+            "60% as many triples from the live graph (never the same triple twice); "
+            "every post-churn state is re-evaluated from scratch."
+        ),
+        "replications": 30,
+        "graph": {
+            "num_entities": 250,
+            "mean_cluster_size": 3.0,
+            "size_skew": 1.0,
+            "max_cluster_size": 80,
+        },
+        "labels": {"model": "calibrated", "params": {"accuracy": 0.9}},
+        "design": "twcs",
+        "second_stage_size": 5,
+        "moe_target": 0.06,
+        "workload": {
+            "total_updates": 360,
+            "num_batches": 3,
+            "schedule": "uniform",
+            "update_accuracy": 0.7,
+            "deletion_fraction": 0.6,
+        },
+        "gates": {"coverage_slack": 0.06},
+    },
+    {
+        "name": "fleet-concurrent",
+        "kind": "fleet",
+        "description": (
+            "Two KGs evaluated concurrently through a live `repro serve` daemon "
+            "(NELL-like under ss, MOVIE-SYN under rs), each receiving its own "
+            "update stream from a separate client thread."
+        ),
+        "replications": 3,
+        "fleet": [
+            {"dataset": "nell", "evaluator": "ss"},
+            {"dataset": "movie-syn", "evaluator": "rs"},
+        ],
+        "moe_target": 0.06,
+        "workload": {
+            "total_updates": 240,
+            "num_batches": 2,
+            "schedule": "uniform",
+            "update_accuracy": 0.8,
+        },
+        "gates": {"coverage_slack": 0.08},
+    },
+]
+
+
+def builtin_pack(smoke: bool = False) -> ScenarioPack:
+    """Build the built-in pack (full replication counts, or the smoke variant)."""
+    scenarios = []
+    for raw in _BUILTIN_SCENARIOS:
+        scenario = dict(raw)
+        if smoke:
+            scenario["replications"] = _SMOKE_REPLICATIONS[scenario["name"]]
+        scenarios.append(scenario)
+    name = "builtin-smoke" if smoke else "builtin-full"
+    description = (
+        "CI smoke variant of builtin-full (reduced replications, same seeds)"
+        if smoke
+        else "The built-in statistical stress pack"
+    )
+    return pack_from_dict({"name": name, "description": description, "scenarios": scenarios})
+
+
+BUILTIN_PACKS = ("builtin-full", "builtin-smoke")
+
+
+def load_pack(name_or_path: str) -> ScenarioPack:
+    """Resolve a pack by built-in name or by ``.json``/``.toml`` file path."""
+    if name_or_path == "builtin-full":
+        return builtin_pack(smoke=False)
+    if name_or_path == "builtin-smoke":
+        return builtin_pack(smoke=True)
+    path = Path(name_or_path)
+    if path.suffix in (".json", ".toml"):
+        if not path.is_file():
+            raise FileNotFoundError(f"pack file not found: {path}")
+        return load_pack_file(path)
+    raise ValueError(
+        f"unknown pack {name_or_path!r}: expected one of {BUILTIN_PACKS} "
+        "or a path to a .json/.toml pack file"
+    )

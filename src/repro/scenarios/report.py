@@ -1,0 +1,153 @@
+"""CI-trackable scenario result files and baseline comparison.
+
+``repro scenario run --out SCENARIOS_smoke.json`` writes one JSON document
+per run.  The file is fully deterministic for a given (pack, backend, root
+seed) — no timestamps, no host information — so a committed baseline diffs
+clean until behaviour actually changes.  ``repro scenario compare`` holds a
+current file to a baseline: trajectory digests must match bit-for-bit,
+coverage counts must match exactly (they are deterministic integers), and
+float fields must agree within an explicit tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.scenarios.runner import ScenarioResult
+
+__all__ = [
+    "RESULTS_FORMAT",
+    "results_to_document",
+    "write_results",
+    "load_results",
+    "compare_documents",
+    "format_results_table",
+]
+
+RESULTS_FORMAT = 1
+
+# Fields compared exactly between baseline and current result files; digests
+# pin the full trajectory, the counts pin the gate inputs.
+_EXACT_FIELDS = (
+    "kind",
+    "backend",
+    "replications",
+    "root_seed",
+    "digest",
+    "coverage_hits",
+    "coverage_trials",
+    "coverage_passed",
+    "moe_passed",
+    "cost_passed",
+)
+_FLOAT_FIELDS = (
+    "empirical_coverage",
+    "wilson_lower",
+    "wilson_upper",
+    "nominal_coverage",
+    "coverage_slack",
+    "mean_moe",
+    "max_moe_observed",
+    "max_moe_allowed",
+    "mean_cost_ratio",
+    "max_cost_ratio",
+    "cost_tolerance",
+)
+
+
+def results_to_document(
+    pack_name: str, backend: str, root_seed: int, results: list[ScenarioResult]
+) -> dict:
+    """Assemble the result-file document for one pack run."""
+    return {
+        "format": RESULTS_FORMAT,
+        "pack": pack_name,
+        "backend": backend,
+        "root_seed": root_seed,
+        "passed": all(result.passed for result in results),
+        "results": [asdict(result) for result in results],
+    }
+
+
+def write_results(path: str | Path, document: dict) -> Path:
+    """Write a result document as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_results(path: str | Path) -> dict:
+    """Load a result document, validating the format marker."""
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != RESULTS_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported results format {document.get('format')!r} "
+            f"(expected {RESULTS_FORMAT})"
+        )
+    return document
+
+
+def compare_documents(
+    baseline: dict, current: dict, float_tolerance: float = 1e-9
+) -> list[str]:
+    """Diff a current result document against a committed baseline.
+
+    Returns a list of human-readable differences (empty when the run
+    reproduces the baseline).  Scenario identity is by name; digests and
+    integer gate inputs must match exactly, floats within ``float_tolerance``.
+    """
+    differences: list[str] = []
+    for field in ("pack", "backend", "root_seed"):
+        if baseline.get(field) != current.get(field):
+            differences.append(
+                f"{field}: baseline {baseline.get(field)!r} != current {current.get(field)!r}"
+            )
+    baseline_results = {entry["name"]: entry for entry in baseline.get("results", [])}
+    current_results = {entry["name"]: entry for entry in current.get("results", [])}
+    for name in sorted(set(baseline_results) - set(current_results)):
+        differences.append(f"{name}: missing from current run")
+    for name in sorted(set(current_results) - set(baseline_results)):
+        differences.append(f"{name}: not in baseline")
+    for name in sorted(set(baseline_results) & set(current_results)):
+        base, cur = baseline_results[name], current_results[name]
+        for field in _EXACT_FIELDS:
+            if base.get(field) != cur.get(field):
+                differences.append(
+                    f"{name}.{field}: baseline {base.get(field)!r} != current {cur.get(field)!r}"
+                )
+        for field in _FLOAT_FIELDS:
+            base_value, cur_value = base.get(field), cur.get(field)
+            if base_value is None or cur_value is None:
+                if base_value != cur_value:
+                    differences.append(
+                        f"{name}.{field}: baseline {base_value!r} != current {cur_value!r}"
+                    )
+            elif abs(float(base_value) - float(cur_value)) > float_tolerance:
+                differences.append(
+                    f"{name}.{field}: baseline {base_value} != current {cur_value} "
+                    f"(tolerance {float_tolerance})"
+                )
+    return differences
+
+
+def format_results_table(results: list[ScenarioResult]) -> str:
+    """Render results as the fixed-width table ``repro scenario run`` prints."""
+    header = (
+        f"{'scenario':<24} {'kind':<9} {'cover':>11} {'wilson':>15} "
+        f"{'mean_moe':>8} {'cost':>6} {'gates':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        coverage = f"{result.coverage_hits}/{result.coverage_trials}"
+        wilson = f"[{result.wilson_lower:.3f},{result.wilson_upper:.3f}]"
+        lines.append(
+            f"{result.name:<24} {result.kind:<9} {coverage:>11} {wilson:>15} "
+            f"{result.mean_moe:>8.4f} {result.mean_cost_ratio:>6.3f} "
+            f"{'PASS' if result.passed else 'FAIL':>6}"
+        )
+        for failure in result.failures():
+            lines.append(f"    !! {failure}")
+    return "\n".join(lines)

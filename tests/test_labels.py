@@ -6,6 +6,7 @@ import pytest
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triple import Triple
+from repro.labels.adversarial import AdversarialClusterModel
 from repro.labels.binomial_mixture import BinomialMixtureModel
 from repro.labels.oracle import LabelOracle
 from repro.labels.random_error import RandomErrorModel
@@ -100,6 +101,17 @@ class TestRandomErrorModel:
         second = RandomErrorModel(0.5, seed=9).generate(toy_graph).as_dict()
         assert first == second
 
+    def test_with_accuracy_rejects_out_of_range(self):
+        # Regression: these used to surface as a confusing error_rate-phrased
+        # message (1 - accuracy); the guard must name the accuracy argument.
+        for bad in (-0.1, 1.5, float("nan")):
+            with pytest.raises(ValueError, match="accuracy"):
+                RandomErrorModel.with_accuracy(bad)
+
+    def test_with_accuracy_accepts_boundaries(self):
+        assert RandomErrorModel.with_accuracy(0.0).error_rate == pytest.approx(1.0)
+        assert RandomErrorModel.with_accuracy(1.0).error_rate == pytest.approx(0.0)
+
 
 class TestBinomialMixtureModel:
     def test_parameter_validation(self):
@@ -156,3 +168,119 @@ class TestBinomialMixtureModel:
         graph = KnowledgeGraph([Triple("big", "p", f"o{i}") for i in range(500)])
         oracle = BinomialMixtureModel(c=1.0, sigma=0.0, k=3, seed=0).generate(graph)
         assert oracle.true_accuracy(graph) == pytest.approx(1.0, abs=0.01)
+
+    def test_rho_validation(self):
+        with pytest.raises(ValueError):
+            BinomialMixtureModel(rho=-0.1)
+        with pytest.raises(ValueError):
+            BinomialMixtureModel(rho=1.01)
+
+    def test_rho_zero_matches_original_stream(self, movie_small):
+        # rho=0 must take the exact pre-rho code path: byte-identical labels
+        # to a default model under the same seed.
+        baseline = BinomialMixtureModel(seed=11).generate(movie_small.graph).as_dict()
+        with_rho = BinomialMixtureModel(rho=0.0, seed=11).generate(movie_small.graph).as_dict()
+        assert baseline == with_rho
+
+    def test_rho_one_makes_clusters_unanimous(self):
+        graph = KnowledgeGraph(
+            [Triple(f"e{c}", "p", f"o{i}") for c in range(40) for i in range(10)]
+        )
+        oracle = BinomialMixtureModel(c=0.05, sigma=0.2, rho=1.0, seed=3).generate(graph)
+        labels = oracle.as_dict()
+        for cluster in graph.clusters():
+            cluster_labels = {labels[triple] for triple in cluster}
+            assert len(cluster_labels) == 1
+
+    def test_rho_preserves_marginal_accuracy(self):
+        # Copying a shared Bernoulli(p) with probability rho leaves each
+        # triple's marginal at p, so overall accuracy should match rho=0.
+        graph = KnowledgeGraph(
+            [Triple(f"e{c}", "p", f"o{i}") for c in range(300) for i in range(8)]
+        )
+        independent = BinomialMixtureModel(c=0.5, sigma=0.0, seed=7).generate(graph)
+        correlated = BinomialMixtureModel(c=0.5, sigma=0.0, rho=0.7, seed=7).generate(graph)
+        assert correlated.true_accuracy(graph) == pytest.approx(
+            independent.true_accuracy(graph), abs=0.05
+        )
+
+    def test_rho_inflates_between_cluster_variance(self):
+        graph = KnowledgeGraph(
+            [Triple(f"e{c}", "p", f"o{i}") for c in range(200) for i in range(10)]
+        )
+
+        def cluster_accuracy_variance(oracle):
+            import numpy as np
+
+            accuracies = list(oracle.cluster_accuracies(graph).values())
+            return float(np.var(accuracies))
+
+        independent = BinomialMixtureModel(c=0.0, sigma=0.0, seed=5).generate(graph)
+        correlated = BinomialMixtureModel(c=0.0, sigma=0.0, rho=0.9, seed=5).generate(graph)
+        assert cluster_accuracy_variance(correlated) > 2 * cluster_accuracy_variance(independent)
+
+
+class TestAdversarialClusterModel:
+    def _graph(self):
+        # Cluster sizes 40, 30, 20, 10, 10: total 110 triples.
+        sizes = {"a": 40, "b": 30, "c": 20, "d": 10, "e": 10}
+        return KnowledgeGraph(
+            [Triple(entity, "p", f"o{i}") for entity, size in sizes.items() for i in range(size)]
+        )
+
+    def test_parameter_validation(self):
+        for kwargs in (
+            {"poisoned_mass": -0.1},
+            {"poisoned_mass": 1.5},
+            {"poisoned_accuracy": 2.0},
+            {"base_accuracy": -1.0},
+        ):
+            with pytest.raises(ValueError):
+                AdversarialClusterModel(**kwargs)
+
+    def test_poisons_largest_clusters_first(self):
+        graph = self._graph()
+        model = AdversarialClusterModel(poisoned_mass=0.3, seed=0)
+        rows = model.poisoned_rows(graph)
+        entities = {graph.entity_ids[row] for row in rows}
+        # 30% of 110 = 33 triples: the 40-triple cluster alone covers it.
+        assert entities == {"a"}
+
+    def test_step_function_accuracy_profile(self):
+        graph = self._graph()
+        model = AdversarialClusterModel(poisoned_mass=0.3, seed=1)
+        oracle = model.generate(graph)
+        assert oracle.cluster_accuracy(graph, "a") == 0.0
+        for entity in ("b", "c", "d", "e"):
+            assert oracle.cluster_accuracy(graph, entity) == 1.0
+
+    def test_expected_accuracy_matches_realised_for_deterministic_rates(self):
+        graph = self._graph()
+        model = AdversarialClusterModel(poisoned_mass=0.3, seed=2)
+        expected = model.expected_accuracy(graph)
+        assert expected == pytest.approx(70 / 110)
+        assert model.generate(graph).true_accuracy(graph) == pytest.approx(expected)
+
+    def test_zero_mass_poisons_nothing(self):
+        graph = self._graph()
+        model = AdversarialClusterModel(poisoned_mass=0.0, seed=3)
+        assert model.poisoned_rows(graph) == set()
+        assert model.generate(graph).true_accuracy(graph) == 1.0
+
+    def test_full_mass_poisons_everything(self):
+        graph = self._graph()
+        model = AdversarialClusterModel(poisoned_mass=1.0, seed=4)
+        assert len(model.poisoned_rows(graph)) == graph.num_entities
+        assert model.generate(graph).true_accuracy(graph) == 0.0
+
+    def test_stream_independent_of_thresholds(self):
+        # The same seed consumes one uniform per triple regardless of the
+        # poisoning split, so non-extreme accuracies stay comparable.
+        graph = self._graph()
+        lenient = AdversarialClusterModel(
+            poisoned_mass=0.0, base_accuracy=0.5, seed=9
+        ).generate(graph)
+        harsh = AdversarialClusterModel(
+            poisoned_mass=1.0, poisoned_accuracy=0.5, seed=9
+        ).generate(graph)
+        assert lenient.as_dict() == harsh.as_dict()

@@ -84,6 +84,50 @@ class TestConfidenceIntervals:
         with pytest.raises(ValueError):
             required_sample_size(-0.1, 0.05, 0.95)
 
+    def test_wilson_interval_single_trial_extremes(self):
+        # The smallest legal sample: the interval must stay inside [0, 1] and
+        # keep the point estimate inside itself despite round-off.
+        zero = wilson_interval(0, 1, 0.95)
+        assert zero.lower == 0.0
+        assert zero.contains(zero.estimate)
+        assert 0.0 < zero.upper < 1.0
+        one = wilson_interval(1, 1, 0.95)
+        assert one.upper == 1.0
+        assert one.contains(one.estimate)
+        assert 0.0 < one.lower < 1.0
+
+    def test_wilson_interval_extremes_at_high_confidence(self):
+        # 99.9% confidence on 0/large-n: still a proper interval, wider than
+        # the 95% one, never escaping the unit range.
+        narrow = wilson_interval(0, 500, 0.95)
+        wide = wilson_interval(0, 500, 0.999)
+        assert narrow.lower == wide.lower == 0.0
+        assert 0.0 < narrow.upper < wide.upper < 0.1
+
+    def test_required_sample_size_tiny_moe(self):
+        # A vanishing MoE target must grow n by the exact 1/eps^2 law without
+        # overflowing or losing the ceil (no silent float truncation).
+        z = normal_critical_value(0.95)
+        for moe in (1e-3, 1e-4, 1e-6):
+            n = required_sample_size(0.25, moe, 0.95)
+            assert n == math.ceil(0.25 * z * z / (moe * moe))
+            # Closed-form consistency: n satisfies the target, n-1 does not.
+            assert z * math.sqrt(0.25 / n) <= moe
+            assert z * math.sqrt(0.25 / (n - 1)) > moe
+
+    def test_required_sample_size_zero_variance(self):
+        # Degenerate population: one unit is always enough.
+        assert required_sample_size(0.0, 1e-9, 0.99) == 1
+
+    def test_normal_critical_value_boundary_rejection(self):
+        # The open interval (0, 1) is strict: both endpoints and anything
+        # outside must raise, while values arbitrarily close to them work.
+        for bad in (0.0, 1.0, -0.05, 1.5, math.nan):
+            with pytest.raises(ValueError):
+                normal_critical_value(bad)
+        assert normal_critical_value(1e-9) > 0.0
+        assert normal_critical_value(1.0 - 1e-12) > 6.0
+
 
 class TestRunningMean:
     def test_empty_state(self):
